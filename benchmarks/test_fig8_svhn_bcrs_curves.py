@@ -1,0 +1,35 @@
+"""Fig. 8 — SVHN accuracy-vs-round curves: BCRS vs baselines.
+
+Same panel grid as Fig. 7 on the SVHN stand-in (imbalanced class priors).
+Shape claims: curves rise; severe compression degrades uniform TopK below
+FedAvg; BCRS is at least competitive with TopK (the paper shows it above).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import bench_config, run_comparison, series_text
+
+ALGS = ["fedavg", "topk", "eftopk", "bcrs"]
+DATASET = "svhn"
+
+
+@pytest.mark.parametrize("beta,cr", [(0.1, 0.1), (0.5, 0.1), (0.1, 0.01), (0.5, 0.01)])
+def test_fig8_panel(once, beta, cr):
+    base = bench_config(DATASET, "fedavg", beta=beta)
+    results = once(run_comparison, base, ALGS, compression_ratio=cr)
+
+    for alg in ALGS:
+        emit(
+            f"Fig. 8 — {DATASET} beta={beta} CR={cr}: {alg}",
+            series_text(results[alg], every=10),
+        )
+
+    for alg in ALGS:
+        _, accs = results[alg].accuracy_series()
+        assert accs[-1] > accs[0], alg
+    acc = {alg: results[alg].final_accuracy() for alg in ALGS}
+    if cr == 0.01:
+        assert acc["topk"] < acc["fedavg"], acc
+    # Non-inferiority margin absorbs small-scale noise on the easier dataset.
+    assert acc["bcrs"] > acc["topk"] - 0.05, acc

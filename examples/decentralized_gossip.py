@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Server-free FL: sparsified gossip averaging on a ring vs a denser graph.
+
+The paper's related work (GossipFL, decentralized sparsified learning)
+removes the central server entirely: clients train locally and exchange
+Top-K-compressed updates with graph neighbors. This example runs D-PSGD on
+a ring and on a random 3-regular graph, showing how topology density trades
+communication for consensus speed.
+
+Run:  python examples/decentralized_gossip.py
+"""
+
+from repro.experiments import bench_config, format_table
+from repro.fl.decentralized import DecentralizedSimulation, random_regular_edges, ring_edges
+
+def main() -> None:
+    cfg = bench_config(
+        "cifar10", "topk", beta=0.5, compression_ratio=0.1, rounds=20,
+    ).with_(num_clients=8, eval_every=20)
+
+    rows = []
+    for label, edges in [
+        ("ring (degree 2)", ring_edges(8)),
+        ("random 3-regular", random_regular_edges(8, 3, seed=0)),
+    ]:
+        sim = DecentralizedSimulation(cfg, edges=edges)
+        recs = sim.run()
+        rows.append([
+            label,
+            f"{recs[-1].mean_accuracy:.4f}",
+            f"{sim.consensus_distance():.3f}",
+            f"{sum(r.comm_time for r in recs):.1f}s",
+        ])
+    print(format_table(
+        ["topology", "mean client accuracy", "consensus distance", "total comm"], rows
+    ))
+    print("\nDenser graphs mix faster (lower consensus distance) at higher")
+    print("communication cost — the decentralized analogue of the paper's")
+    print("bandwidth/information trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Overlap analysis: reproduce the paper's Fig. 3/4 insight on live updates.
+
+Runs one real federated round under Top-K compression, computes the degree of
+overlap of every retained parameter across the selected clients, and prints
+the distribution histogram — showing that at high compression most retained
+parameters appear in only ONE client's update, which motivates OPWA's
+enlarge-rate mask (Algorithm 3).
+
+Run:  python examples/overlap_analysis.py
+"""
+
+from repro.compression.base import SparseUpdate
+from repro.core.opwa import opwa_mask_from_updates
+from repro.core.overlap import overlap_distribution
+from repro.experiments import bench_config, format_table
+from repro.fl import Simulation
+
+def main() -> None:
+    for cr in (0.1, 0.01):
+        cfg = bench_config("cifar10", "topk", beta=0.1, compression_ratio=cr, rounds=3)
+        sim = Simulation(cfg)
+        sim.run()
+        updates = [u for u in sim.last_round_updates if isinstance(u, SparseUpdate)]
+        dist = overlap_distribution(updates)
+
+        rows = [
+            [f"{f + 1}", f"{count}", f"{frac:.2%}"]
+            for f, (count, frac) in enumerate(zip(dist.counts, dist.fractions()))
+        ]
+        print(f"\n=== CR = {cr}  ({len(updates)} clients, "
+              f"{dist.total_retained} distinct retained indices) ===")
+        print(format_table(["overlap degree", "#parameters", "share"], rows))
+        print(f"singleton fraction: {dist.singleton_fraction():.2%} "
+              f"(paper reports ~59% at CR=0.1, ~87% at CR=0.01)")
+
+        mask = opwa_mask_from_updates(updates, gamma=7.0)
+        enlarged = int((mask > 1).sum())
+        print(f"OPWA mask with gamma=7 would enlarge {enlarged} parameters "
+              f"({enlarged / mask.size:.2%} of the model).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""repro — reproduction of "Bandwidth-Aware and Overlap-Weighted Compression
+for Communication-Efficient Federated Learning" (Tang et al., ICPP 2024).
+
+Subpackages
+-----------
+- ``repro.nn``: numpy neural-network substrate (models the paper trains).
+- ``repro.data``: synthetic federated datasets + Dirichlet non-IID partitioning.
+- ``repro.network``: the paper's communication cost model and time metrics.
+- ``repro.compression``: Top-K / Random-K / threshold / quantization / EF.
+- ``repro.core``: the paper's contribution — BCRS scheduling and OPWA.
+- ``repro.fl``: the federated simulation engine (Algorithm 1).
+- ``repro.experiments``: presets and reporting for every paper table/figure.
+"""
+
+__version__ = "1.0.0"

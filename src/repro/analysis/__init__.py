@@ -1,0 +1,26 @@
+"""Diagnostics: client drift and compression fidelity."""
+
+from repro.analysis.drift import (
+    cosine_similarity_matrix,
+    gradient_diversity,
+    mean_pairwise_cosine,
+    update_norm_dispersion,
+)
+from repro.analysis.fairness import FairnessReport, fairness_report, per_client_accuracy
+from repro.analysis.fidelity import aggregation_fidelity, relative_error, retained_mass
+from repro.analysis.layerwise import layer_density, layer_singleton_fraction
+
+__all__ = [
+    "layer_density",
+    "layer_singleton_fraction",
+    "FairnessReport",
+    "fairness_report",
+    "per_client_accuracy",
+    "cosine_similarity_matrix",
+    "mean_pairwise_cosine",
+    "gradient_diversity",
+    "update_norm_dispersion",
+    "retained_mass",
+    "relative_error",
+    "aggregation_fidelity",
+]

@@ -1,0 +1,49 @@
+"""Per-layer decomposition of compression and overlap statistics.
+
+Global Top-K concentrates retained entries in large layers and can starve
+small ones; the degree-of-overlap pattern likewise varies by layer. These
+helpers split flat-vector statistics back into the model's named parameter
+ranges (via ``repro.nn.params.param_slices``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import SparseUpdate
+from repro.core.overlap import overlap_counts
+
+__all__ = ["layer_density", "layer_singleton_fraction"]
+
+
+def layer_density(
+    update: SparseUpdate, slices: list[tuple[str, slice, tuple[int, ...]]]
+) -> dict[str, float]:
+    """Retained fraction per named parameter range for one sparse update."""
+    retained = np.zeros(update.dense_size, dtype=bool)
+    retained[update.indices] = True
+    out: dict[str, float] = {}
+    for name, sl, _shape in slices:
+        size = sl.stop - sl.start
+        out[name] = float(retained[sl].sum()) / size if size else 0.0
+    return out
+
+
+def layer_singleton_fraction(
+    updates: list[SparseUpdate], slices: list[tuple[str, slice, tuple[int, ...]]]
+) -> dict[str, float]:
+    """Fig. 4's singleton fraction computed per named parameter range.
+
+    Ranges where no index was retained report ``nan`` (no retained
+    population to take a fraction of).
+    """
+    counts = overlap_counts(updates)
+    out: dict[str, float] = {}
+    for name, sl, _shape in slices:
+        seg = counts[sl]
+        retained = int((seg > 0).sum())
+        if retained == 0:
+            out[name] = float("nan")
+        else:
+            out[name] = float((seg == 1).sum()) / retained
+    return out

@@ -1,0 +1,52 @@
+"""Error-feedback compression (EF-TopK baseline, Sec. 5.1).
+
+Error feedback (Karimireddy et al.; Li & Li 2023 in the paper's references)
+keeps the residual ``e = u_corrected − compress(u_corrected)`` locally and
+adds it to the next round's update, so information dropped by a biased
+compressor is eventually transmitted. Wrapping :class:`~repro.compression.sparsifiers.TopK`
+yields the paper's EFTOPK baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedUpdate, Compressor
+
+__all__ = ["ErrorFeedback"]
+
+
+class ErrorFeedback:
+    """Stateful per-client wrapper adding residual memory to any compressor."""
+
+    def __init__(self, inner: Compressor):
+        self.inner = inner
+        self._memory: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        inner_name = getattr(self.inner, "name", type(self.inner).__name__)
+        return f"ef_{inner_name}"
+
+    @property
+    def memory(self) -> np.ndarray | None:
+        """Current residual (None before the first compression)."""
+        return self._memory
+
+    def reset(self) -> None:
+        """Drop accumulated residual (e.g. when a client is re-initialized)."""
+        self._memory = None
+
+    def compress(self, update: np.ndarray, ratio: float) -> CompressedUpdate:
+        update = np.ascontiguousarray(update, dtype=np.float32)
+        if self._memory is None:
+            self._memory = np.zeros_like(update)
+        elif self._memory.shape != update.shape:
+            raise ValueError(
+                f"update size changed: memory {self._memory.shape} vs update {update.shape}"
+            )
+        corrected = update + self._memory
+        compressed = self.inner.compress(corrected, ratio)
+        # Residual = what the compressor failed to transmit this round.
+        self._memory = corrected - compressed.to_dense()
+        return compressed

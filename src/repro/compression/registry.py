@@ -1,0 +1,62 @@
+"""Name → compressor-factory registry.
+
+Lets experiment configs refer to compressors by string (``"topk"``,
+``"ef_topk"``, ``"randomk"``, ``"qsgd8"``, ...) while keeping construction —
+including per-client statefulness for error feedback — in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.ef import ErrorFeedback
+from repro.compression.quantization import QSGDQuantizer, UniformQuantizer
+from repro.compression.sign import SignCompressor
+from repro.compression.sparsifiers import RandomK, ThresholdSparsifier, TopK
+
+__all__ = ["make_compressor", "available_compressors", "register_compressor"]
+
+_FACTORIES: dict[str, Callable[..., Compressor]] = {}
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register a new compressor factory under ``name``.
+
+    The factory receives ``(seed)`` as keyword argument and must return a
+    fresh, independent compressor instance (stateful compressors like error
+    feedback must not share state across clients).
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"compressor {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def available_compressors() -> list[str]:
+    """Sorted registered names."""
+    return sorted(_FACTORIES)
+
+
+def make_compressor(name: str, *, seed: int | np.random.Generator = 0) -> Compressor:
+    """Instantiate a fresh compressor by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compressor {name!r}; available: {available_compressors()}"
+        ) from None
+    return factory(seed=seed)
+
+
+register_compressor("topk", lambda seed=0: TopK())
+register_compressor("ef_topk", lambda seed=0: ErrorFeedback(TopK()))
+register_compressor("randomk", lambda seed=0: RandomK(seed=seed))
+register_compressor("ef_randomk", lambda seed=0: ErrorFeedback(RandomK(seed=seed)))
+register_compressor("threshold", lambda seed=0: ThresholdSparsifier(threshold=1e-4))
+register_compressor("qsgd8", lambda seed=0: QSGDQuantizer(bits=8, seed=seed))
+register_compressor("qsgd4", lambda seed=0: QSGDQuantizer(bits=4, seed=seed))
+register_compressor("uniform8", lambda seed=0: UniformQuantizer(bits=8))
+register_compressor("sign", lambda seed=0: SignCompressor())
+register_compressor("ef_sign", lambda seed=0: ErrorFeedback(SignCompressor()))

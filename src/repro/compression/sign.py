@@ -1,0 +1,55 @@
+"""1-bit sign compression (signSGD / EF-signSGD family).
+
+Transmits only the sign of each coordinate plus one float scale — the mean
+absolute value — so the reconstruction ``scale · sign(u)`` preserves the
+update's L1 mass. With the error-feedback wrapper this is EF-signSGD
+(Karimireddy et al., 2019), another "commonly used compression technique"
+the framework integrates (Sec. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import CompressedUpdate
+
+__all__ = ["SignUpdate", "SignCompressor"]
+
+
+@dataclass(frozen=True)
+class SignUpdate(CompressedUpdate):
+    """Sign bits plus one scale: bits = d·1 + 32."""
+
+    signs: np.ndarray  # int8 in {-1, 0, +1}
+    scale: float
+
+    def __post_init__(self):
+        if self.signs.shape != (self.dense_size,):
+            raise ValueError(f"signs shape {self.signs.shape} != ({self.dense_size},)")
+        if self.scale < 0:
+            raise ValueError(f"scale must be >= 0, got {self.scale}")
+
+    @property
+    def bits(self) -> float:
+        return float(self.dense_size) * 1 + 32
+
+    def to_dense(self) -> np.ndarray:
+        return (self.scale * self.signs).astype(np.float32)
+
+
+class SignCompressor:
+    """``u → mean(|u|) · sign(u)``; ratio is ignored (rate is fixed at 1 bit)."""
+
+    name = "sign"
+
+    def compress(self, update: np.ndarray, ratio: float = 1.0) -> SignUpdate:
+        update = np.ascontiguousarray(update, dtype=np.float32)
+        d = update.shape[0]
+        scale = float(np.mean(np.abs(update))) if d else 0.0
+        return SignUpdate(
+            dense_size=d,
+            signs=np.sign(update).astype(np.int8),
+            scale=scale,
+        )

@@ -1,0 +1,97 @@
+"""Server-side aggregation rules — Algorithm 1 lines 14–18.
+
+All three rules consume the clients' (sparse) updates ``Δw_i = w_t − w_i``
+and produce the next global model:
+
+- **FedAvg** (line 14):     ``w ← w − η_s · Σ f_i · Δw_i``
+- **BCRS** (line 16):       ``w ← w − η_s · Σ p'_i · Δw_i``
+- **BCRS+OPWA** (line 18):  ``w ← w − η_s · Σ p'_i · M ⊙ Δw_i``
+
+where ``η_s`` is the server step (1.0 recovers exact FedAvg for dense
+updates), ``p'_i`` comes from Eq. 6 and ``M`` from Algorithm 3. Aggregation
+is a scatter-add per sparse update into one accumulation buffer — no dense
+per-client temporaries (HPC guide: in-place accumulation, no copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedUpdate, SparseUpdate
+
+__all__ = ["weighted_sparse_sum", "apply_server_update", "aggregate"]
+
+
+def weighted_sparse_sum(
+    updates: list[CompressedUpdate],
+    weights: np.ndarray,
+    *,
+    mask: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute ``Σ_i weights[i] · (mask ⊙ dense(updates[i]))``.
+
+    Sparse updates accumulate via fancy-indexed in-place adds; dense updates
+    fall back to vectorized AXPY. ``mask`` (the OPWA ``M``) applies at the
+    parameter level.
+    """
+    if not updates:
+        raise ValueError("need at least one update")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(updates),):
+        raise ValueError(f"weights shape {weights.shape} != ({len(updates)},)")
+    d = updates[0].dense_size
+    for u in updates:
+        if u.dense_size != d:
+            raise ValueError("updates disagree on dense_size")
+    if mask is not None and mask.shape != (d,):
+        raise ValueError(f"mask shape {mask.shape} != ({d},)")
+
+    if out is None:
+        out = np.zeros(d, dtype=np.float64)
+    elif out.shape != (d,):
+        raise ValueError(f"out shape {out.shape} != ({d},)")
+    else:
+        out[...] = 0.0
+
+    for w, u in zip(weights, updates):
+        if isinstance(u, SparseUpdate):
+            contrib = w * u.values.astype(np.float64)
+            if mask is not None:
+                contrib *= mask[u.indices]
+            # Indices are unique per update, so += scatter is race-free.
+            out[u.indices] += contrib
+        else:
+            dense = u.to_dense().astype(np.float64)
+            if mask is not None:
+                dense *= mask
+            out += w * dense
+    return out
+
+
+def apply_server_update(
+    global_params: np.ndarray,
+    aggregated_update: np.ndarray,
+    server_step: float = 1.0,
+) -> np.ndarray:
+    """``w_{t+1} = w_t − η_s · Σ(...)`` — the descent step of lines 14/16/18."""
+    if global_params.shape != aggregated_update.shape:
+        raise ValueError(
+            f"shape mismatch {global_params.shape} vs {aggregated_update.shape}"
+        )
+    return (global_params.astype(np.float64) - server_step * aggregated_update).astype(
+        np.float32
+    )
+
+
+def aggregate(
+    global_params: np.ndarray,
+    updates: list[CompressedUpdate],
+    weights: np.ndarray,
+    *,
+    mask: np.ndarray | None = None,
+    server_step: float = 1.0,
+) -> np.ndarray:
+    """One-call aggregation: weighted (optionally masked) sum, then the step."""
+    total = weighted_sparse_sum(updates, weights, mask=mask)
+    return apply_server_update(global_params, total, server_step)

@@ -1,0 +1,73 @@
+"""Client-averaging coefficients — Eq. 6 of the paper.
+
+FedAvg weighs client ``i`` by its data frequency ``f_i = n_i / n``. BCRS
+additionally accounts for how much of the update each client actually
+transmitted, via the *normalized* scheduled compression ratio:
+
+    p'_i = f_i / max(f_i, Norm(CR_i)) · α
+
+With ``Norm`` the sum-normalization (ratios as a share of the round's total),
+a client whose transmitted share exceeds its data share is scaled back, so
+high-bandwidth clients cannot dominate the average simply because BCRS let
+them upload more parameters; α is the server learning rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["normalize_ratios", "adjusted_coefficients", "fedavg_coefficients"]
+
+
+def normalize_ratios(ratios: np.ndarray, mode: str = "sum") -> np.ndarray:
+    """Normalize scheduled ratios for Eq. 6.
+
+    ``"sum"``: shares summing to 1 (default, comparable to ``f_i``).
+    ``"max"``: scale so the largest ratio is 1.
+    ``"none"``: use raw ratios (ablation).
+    """
+    ratios = np.asarray(ratios, dtype=np.float64)
+    if ratios.ndim != 1 or ratios.size == 0:
+        raise ValueError(f"ratios must be a non-empty 1-D array, got shape {ratios.shape}")
+    if np.any(ratios <= 0):
+        raise ValueError("ratios must be positive")
+    if mode == "sum":
+        return ratios / ratios.sum()
+    if mode == "max":
+        return ratios / ratios.max()
+    if mode == "none":
+        return ratios.copy()
+    raise ValueError(f"unknown normalization mode {mode!r}")
+
+
+def fedavg_coefficients(data_frequencies: np.ndarray) -> np.ndarray:
+    """Plain FedAvg weights: ``p_i = f_i`` (Alg. 1 line 13/14)."""
+    f = np.asarray(data_frequencies, dtype=np.float64)
+    if f.ndim != 1 or f.size == 0:
+        raise ValueError("data_frequencies must be a non-empty 1-D array")
+    if np.any(f < 0) or abs(f.sum() - 1.0) > 1e-6:
+        raise ValueError("data_frequencies must be non-negative and sum to 1")
+    return f.copy()
+
+
+def adjusted_coefficients(
+    data_frequencies: np.ndarray,
+    ratios: np.ndarray,
+    alpha: float,
+    *,
+    norm: str = "sum",
+) -> np.ndarray:
+    """Eq. 6: ``p'_i = f_i / max(f_i, Norm(CR_i)) · α``.
+
+    Each coefficient is at most ``α`` (reached when the client's transmitted
+    share does not exceed its data share).
+    """
+    f = fedavg_coefficients(data_frequencies)
+    check_positive("alpha", alpha)
+    ratios = np.asarray(ratios, dtype=np.float64)
+    if ratios.shape != f.shape:
+        raise ValueError(f"ratios shape {ratios.shape} != frequencies shape {f.shape}")
+    normed = normalize_ratios(ratios, mode=norm)
+    return f / np.maximum(f, normed) * alpha

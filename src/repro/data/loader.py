@@ -1,0 +1,51 @@
+"""Seeded mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.utils.rng import as_generator
+
+__all__ = ["BatchLoader"]
+
+
+class BatchLoader:
+    """Iterate a dataset in shuffled mini-batches.
+
+    Re-iterating yields a fresh shuffle from the same generator, so a client's
+    epoch order is reproducible given its RNG stream.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        rng: int | np.random.Generator = 0,
+        *,
+        shuffle: bool = True,
+        drop_last: bool = False,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self.rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.x[idx], self.dataset.y[idx]

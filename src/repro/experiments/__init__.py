@@ -1,0 +1,33 @@
+"""Experiment harness: paper presets, runners, reporting, reference numbers."""
+
+from repro.experiments.presets import DATASET_NAME_MAP, bench_config, bench_scale, paper_config
+from repro.experiments.reporting import (
+    accuracy_row,
+    format_table,
+    paired_row,
+    series_text,
+    summarize_comparison,
+    time_to_accuracy_row,
+)
+from repro.experiments.metrics import accuracy_auc, rounds_speedup, speedup_to_target
+from repro.experiments.runner import run_comparison, sweep
+from repro.experiments import paper_reference
+
+__all__ = [
+    "paper_config",
+    "bench_config",
+    "bench_scale",
+    "DATASET_NAME_MAP",
+    "run_comparison",
+    "sweep",
+    "accuracy_auc",
+    "speedup_to_target",
+    "rounds_speedup",
+    "format_table",
+    "accuracy_row",
+    "time_to_accuracy_row",
+    "paired_row",
+    "series_text",
+    "summarize_comparison",
+    "paper_reference",
+]

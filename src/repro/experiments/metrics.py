@@ -1,0 +1,52 @@
+"""Derived evaluation metrics over run histories."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.history import History
+
+__all__ = ["accuracy_auc", "speedup_to_target", "rounds_speedup"]
+
+
+def accuracy_auc(history: History) -> float:
+    """Area under the accuracy-vs-round curve, normalized to [0, 1].
+
+    A single scalar capturing *how fast* a run converges, not just where it
+    ends; robust to final-round noise when comparing algorithms.
+    """
+    rounds, accs = history.accuracy_series()
+    if rounds.size == 0:
+        raise ValueError("no evaluations recorded")
+    if rounds.size == 1:
+        return float(accs[0])
+    span = float(rounds[-1] - rounds[0])
+    if span == 0:
+        return float(accs[-1])
+    return float(np.trapezoid(accs, rounds) / span)
+
+
+def speedup_to_target(
+    baseline: History, candidate: History, target: float
+) -> float | None:
+    """Communication-time speedup of ``candidate`` over ``baseline`` to reach
+    ``target`` accuracy (the paper's 2.02–3.37× claim). None if either run
+    never reaches the target."""
+    t_base = baseline.time_to_accuracy(target)["actual"]
+    t_cand = candidate.time_to_accuracy(target)["actual"]
+    if t_base is None or t_cand is None:
+        return None
+    if t_cand == 0:
+        return float("inf")
+    return float(t_base / t_cand)
+
+
+def rounds_speedup(baseline: History, candidate: History, target: float) -> float | None:
+    """Round-count speedup of ``candidate`` over ``baseline`` to ``target``."""
+    r_base = baseline.rounds_to_accuracy(target)
+    r_cand = candidate.rounds_to_accuracy(target)
+    if r_base is None or r_cand is None:
+        return None
+    if r_cand == 0:
+        return float("inf")
+    return float(r_base) / float(r_cand)

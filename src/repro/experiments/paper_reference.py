@@ -1,0 +1,75 @@
+"""The paper's reported numbers, for side-by-side printing in benches.
+
+Source: Tang et al., ICPP 2024 — Table 2 (main accuracies), Table 3 (time to
+40 % accuracy on CIFAR-10, β=0.1), Table 4 (OPWA γ sweep), Fig. 4 (overlap
+distribution percentages), Fig. 6 (round time breakdown).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "FIG4_SINGLETON_FRACTIONS",
+    "FIG6_BREAKDOWN",
+    "SPEEDUP_RANGE",
+]
+
+#: Table 2 — {dataset: {(beta, cr): {algorithm: accuracy}}}
+TABLE2: dict[str, dict[tuple[float, float], dict[str, float]]] = {
+    "cifar10": {
+        (0.1, 0.1): {"fedavg": 0.568, "topk": 0.4669, "eftopk": 0.4553, "bcrs": 0.493, "bcrs_opwa": 0.6029},
+        (0.1, 0.01): {"fedavg": 0.568, "topk": 0.2555, "eftopk": 0.247, "bcrs": 0.305, "bcrs_opwa": 0.4845},
+        (0.5, 0.1): {"fedavg": 0.7637, "topk": 0.6853, "eftopk": 0.6848, "bcrs": 0.7124, "bcrs_opwa": 0.7437},
+        (0.5, 0.01): {"fedavg": 0.7637, "topk": 0.3268, "eftopk": 0.3123, "bcrs": 0.4828, "bcrs_opwa": 0.5528},
+    },
+    "svhn": {
+        (0.1, 0.1): {"fedavg": 0.6235, "topk": 0.4052, "eftopk": 0.5151, "bcrs": 0.6619, "bcrs_opwa": 0.7063},
+        (0.1, 0.01): {"fedavg": 0.6235, "topk": 0.304, "eftopk": 0.264, "bcrs": 0.3493, "bcrs_opwa": 0.5259},
+        (0.5, 0.1): {"fedavg": 0.9113, "topk": 0.8905, "eftopk": 0.8918, "bcrs": 0.8925, "bcrs_opwa": 0.9031},
+        (0.5, 0.01): {"fedavg": 0.9113, "topk": 0.7771, "eftopk": 0.7738, "bcrs": 0.7945, "bcrs_opwa": 0.8728},
+    },
+    "cifar100": {
+        (0.1, 0.1): {"fedavg": 0.4921, "topk": 0.4234, "eftopk": 0.4262, "bcrs": 0.2382, "bcrs_opwa": 0.4892},
+        (0.1, 0.01): {"fedavg": 0.4921, "topk": 0.2418, "eftopk": 0.2504, "bcrs": 0.3053, "bcrs_opwa": 0.4775},
+        (0.5, 0.1): {"fedavg": 0.5686, "topk": 0.4965, "eftopk": 0.4962, "bcrs": 0.5415, "bcrs_opwa": 0.5499},
+        (0.5, 0.01): {"fedavg": 0.5686, "topk": 0.2616, "eftopk": 0.2629, "bcrs": 0.4345, "bcrs_opwa": 0.4966},
+    },
+}
+
+#: Table 3 — seconds to 40 % accuracy on CIFAR-10, β=0.1.
+#: {algorithm: {cr: (actual, max, min)}} — None where the paper leaves blanks.
+TABLE3: dict[str, dict[float, tuple[float | None, float | None, float | None]]] = {
+    "fedavg": {0.1: (3677.238, 3677.238, 104.514), 0.01: (3677.238, 3677.238, 104.514)},
+    "topk": {0.1: (281.364, 1386.653, 28.317), 0.01: (86.985, 3634.929, 74.482)},
+    "eftopk": {0.1: (157.412, 1521.802, 31.073), 0.01: (52.062, 3719.547, 76.245)},
+    "bcrs": {0.1: (17.938, None, None), 0.01: (25.755, None, None)},
+}
+
+#: Table 4 — OPWA accuracy by enlarge rate γ on CIFAR-10 (N=10, C=0.5).
+#: {(beta, cr): {gamma: accuracy}}; FedAvg reference 0.568 (β=0.1), 0.7637 (β=0.5).
+TABLE4: dict[tuple[float, float], dict[int, float]] = {
+    (0.1, 0.1): {3: 0.5682, 5: 0.5972, 7: 0.5958},
+    (0.1, 0.01): {3: 0.3461, 5: 0.4222, 7: 0.4832},
+    (0.5, 0.1): {3: 0.6841, 5: 0.7242, 7: 0.7375},
+    (0.5, 0.01): {3: 0.3282, 5: 0.4809, 7: 0.5582},
+}
+
+#: Fig. 4 — fraction of retained parameters appearing in exactly one client's
+#: compressed update: {(beta, cr): singleton fraction}.
+FIG4_SINGLETON_FRACTIONS: dict[tuple[float, float], float] = {
+    (0.1, 0.01): 0.8707,
+    (0.1, 0.1): 0.5860,
+    (0.5, 0.01): 0.8819,
+    (0.5, 0.1): 0.6073,
+}
+
+#: Fig. 6 — average seconds per round {cr: (compress, train, uncompressed comm, bcrs comm)}.
+FIG6_BREAKDOWN: dict[float, tuple[float, float, float, float]] = {
+    0.01: (0.26, 10.04, 48.15, 1.14),
+    0.1: (0.28, 9.83, 48.15, 9.78),
+}
+
+#: Abstract claim: 2.02–3.37× speedup over TopK to target accuracy.
+SPEEDUP_RANGE: tuple[float, float] = (2.02, 3.37)

@@ -1,0 +1,76 @@
+"""Render measured results next to the paper's reported numbers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl.history import History
+
+__all__ = [
+    "format_table",
+    "accuracy_row",
+    "time_to_accuracy_row",
+    "series_text",
+    "paired_row",
+    "summarize_comparison",
+]
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table with aligned columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+
+
+def _num(x: float | None, nd: int = 4) -> str:
+    return "--" if x is None else f"{x:.{nd}f}"
+
+
+def accuracy_row(name: str, history: History, paper_value: float | None) -> list[str]:
+    """[algorithm, measured final acc, paper acc] for a Table 2-style row."""
+    return [name, _num(history.final_accuracy()), _num(paper_value)]
+
+
+def time_to_accuracy_row(
+    name: str, history: History, target: float, paper: tuple | None = None
+) -> list[str]:
+    """[algorithm, actual, max, min (measured) | paper actual] — Table 3 rows."""
+    t = history.time_to_accuracy(target)
+    row = [name, _num(t["actual"], 2), _num(t["max"], 2), _num(t["min"], 2)]
+    if paper is not None:
+        row.append(_num(paper[0], 2))
+    return row
+
+
+def paired_row(label: str, measured: float | None, paper: float | None, nd: int = 4) -> list[str]:
+    """Generic [label, measured, paper] row."""
+    return [label, _num(measured, nd), _num(paper, nd)]
+
+
+def series_text(history: History, *, every: int = 10, width: int = 40) -> str:
+    """ASCII accuracy-vs-round curve (the figure panels, printably)."""
+    rounds, accs = history.accuracy_series()
+    if rounds.size == 0:
+        return "(no evaluations)"
+    lines = []
+    for r, a in zip(rounds, accs):
+        if r % every and r != rounds[-1]:
+            continue
+        bar = "#" * int(round(a * width))
+        lines.append(f"round {int(r):>4d}  acc {a:.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def summarize_comparison(results: dict[str, History]) -> str:
+    """One-line-per-algorithm summary of a run group."""
+    rows = [
+        [alg, _num(h.final_accuracy()), _num(h.best_accuracy()), f"{h.time.actual_total:.1f}s"]
+        for alg, h in results.items()
+    ]
+    return format_table(["algorithm", "final_acc", "best_acc", "comm_time"], rows)

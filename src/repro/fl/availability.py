@@ -1,0 +1,98 @@
+"""Client availability modeling (cross-device churn).
+
+Edge devices participate intermittently — charging, idle, on WiFi. The
+paper samples uniformly from all clients; this extension gates sampling on
+a per-round availability process so experiments can study BCRS under churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = ["BernoulliAvailability", "MarkovAvailability", "AvailabilityAwareSampler"]
+
+
+class BernoulliAvailability:
+    """Each client is independently available with probability ``p`` each round."""
+
+    def __init__(self, num_clients: int, p: float, seed: int | np.random.Generator = 0):
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        self.num_clients = int(num_clients)
+        self.p = check_fraction("p", p)
+        self.rng = as_generator(seed)
+
+    def step(self) -> np.ndarray:
+        """Boolean availability mask for the next round."""
+        return self.rng.random(self.num_clients) < self.p
+
+
+class MarkovAvailability:
+    """Two-state (online/offline) Markov chain per client — bursty churn.
+
+    ``p_stay_on`` / ``p_stay_off`` are the self-transition probabilities;
+    high values model devices that stay online (or offline) for long spells,
+    unlike the memoryless Bernoulli model.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        p_stay_on: float = 0.9,
+        p_stay_off: float = 0.7,
+        seed: int | np.random.Generator = 0,
+    ):
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        check_fraction("p_stay_on", p_stay_on)
+        check_fraction("p_stay_off", p_stay_off)
+        self.num_clients = int(num_clients)
+        self.p_stay_on = float(p_stay_on)
+        self.p_stay_off = float(p_stay_off)
+        self.rng = as_generator(seed)
+        self.state = np.ones(num_clients, dtype=bool)  # start online
+
+    def step(self) -> np.ndarray:
+        # Online stays online w.p. p_stay_on; offline comes online w.p.
+        # 1 − p_stay_off.
+        u = self.rng.random(self.num_clients)
+        self.state = np.where(self.state, u < self.p_stay_on, u >= self.p_stay_off)
+        return self.state.copy()
+
+
+class AvailabilityAwareSampler:
+    """Sample up to ``clients_per_round`` among currently-available clients.
+
+    If fewer clients are available than requested, the round proceeds with
+    what there is (at least one — if nobody is available the sampler waits,
+    i.e. resamples availability, mirroring production FL schedulers).
+    """
+
+    def __init__(
+        self,
+        availability: BernoulliAvailability | MarkovAvailability,
+        clients_per_round: int,
+        seed: int | np.random.Generator = 0,
+        *,
+        max_waits: int = 1000,
+    ):
+        if clients_per_round < 1:
+            raise ValueError(f"clients_per_round must be >= 1, got {clients_per_round}")
+        self.availability = availability
+        self.clients_per_round = int(clients_per_round)
+        self.rng = as_generator(seed)
+        self.max_waits = int(max_waits)
+
+    def sample(self) -> np.ndarray:
+        """Available-client ids for this round (sorted, possibly < target)."""
+        for _ in range(self.max_waits):
+            mask = self.availability.step()
+            candidates = np.flatnonzero(mask)
+            if candidates.size:
+                k = min(self.clients_per_round, candidates.size)
+                chosen = self.rng.choice(candidates, size=k, replace=False)
+                return np.sort(chosen)
+        raise RuntimeError(f"no clients became available in {self.max_waits} waits")

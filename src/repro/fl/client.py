@@ -1,0 +1,114 @@
+"""Client-side local training — the LOCALTRAINING procedure of Algorithm 1.
+
+A client receives the global model ``w_t``, runs ``E`` epochs of mini-batch
+SGD on its local shard, and returns the *update* ``Δw = w_t − w_E`` (positive
+update = descent direction, matching Alg. 1 line 26) together with its
+post-training persistent state (BN running stats, which FedAvg averages like
+any other buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.loader import BatchLoader
+from repro.nn.layers import Layer
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import SGD, Adam
+from repro.nn.params import get_flat_params, set_flat_params
+
+__all__ = ["LocalTrainResult", "Client"]
+
+
+@dataclass
+class LocalTrainResult:
+    """Output of one client round."""
+
+    delta: np.ndarray  # Δw = w_t − w_local, flat float32
+    state_arrays: list[np.ndarray]  # post-training persistent buffers
+    mean_loss: float  # average training loss over the round's batches
+    num_batches: int
+
+
+class Client:
+    """One federated participant with a fixed local shard."""
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        *,
+        flatten_inputs: bool = False,
+    ):
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} has an empty shard")
+        self.client_id = int(client_id)
+        self.dataset = dataset
+        self.loader = BatchLoader(dataset, batch_size, rng=rng)
+        self.flatten_inputs = bool(flatten_inputs)
+
+    @property
+    def num_samples(self) -> int:
+        """Local shard size ``n_k``."""
+        return len(self.dataset)
+
+    def local_train(
+        self,
+        model: Layer,
+        global_params: np.ndarray,
+        *,
+        lr: float,
+        epochs: int,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        proximal_mu: float = 0.0,
+        optimizer: str = "sgd",
+    ) -> LocalTrainResult:
+        """Run LOCALTRAINING on a shared model instance.
+
+        The caller owns the model object; this method loads ``global_params``
+        into it, trains in place, and reads the result out — the single-
+        process analogue of shipping the model to the device.
+
+        ``proximal_mu > 0`` adds FedProx's proximal gradient
+        ``μ·(w − w_t)`` each step, pulling local iterates toward the global
+        model to counter client drift (Li et al., the paper's FedProx [27]).
+        """
+        set_flat_params(model, global_params)
+        params = model.parameters()
+        if optimizer == "sgd":
+            opt = SGD(params, lr=lr, momentum=momentum, weight_decay=weight_decay)
+        elif optimizer == "adam":
+            opt = Adam(params, lr=lr, weight_decay=weight_decay)
+        else:
+            raise ValueError(f"unknown local optimizer {optimizer!r}")
+        anchors = [p.data.copy() for p in params] if proximal_mu > 0 else None
+        total_loss = 0.0
+        batches = 0
+        for _ in range(epochs):
+            for x, y in self.loader:
+                if self.flatten_inputs:
+                    x = x.reshape(x.shape[0], -1)
+                opt.zero_grad()
+                logits = model(x, training=True)
+                loss, grad = cross_entropy(logits, y)
+                model.backward(grad)
+                if anchors is not None:
+                    for p, anchor in zip(params, anchors):
+                        p.grad += proximal_mu * (p.data - anchor)
+                opt.step()
+                total_loss += loss
+                batches += 1
+        delta = global_params - get_flat_params(model)
+        states = [a.copy() for a in model.state_arrays()]
+        return LocalTrainResult(
+            delta=delta,
+            state_arrays=states,
+            mean_loss=total_loss / max(batches, 1),
+            num_batches=batches,
+        )

@@ -1,0 +1,109 @@
+"""Experiment configuration (the knobs of Sec. 5.1, plus engine options)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["ExperimentConfig", "ALGORITHMS"]
+
+#: Algorithms of Table 2 (the baselines and the paper's two methods) plus
+#: the deadline-drop straggler policy used as an extra ablation baseline.
+ALGORITHMS = ("fedavg", "topk", "eftopk", "bcrs", "bcrs_opwa", "deadline_topk")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full specification of one FL run.
+
+    Defaults follow the paper's federated setting (Sec. 5.1): N=10 clients,
+    participation C=0.5, batch size 64, E=1 local epoch, Dirichlet β, with
+    the synthetic datasets and scaled-down models of DESIGN.md §2.
+    """
+
+    # Task
+    dataset: str = "synth-cifar10"
+    model: str = "mlp"
+    num_train: int = 2000
+    num_test: int = 500
+
+    # Federation (Sec. 5.1)
+    num_clients: int = 10
+    participation: float = 0.5  # C: fraction selected per round
+    beta: float = 0.5  # Dirichlet heterogeneity (lower = more severe)
+    rounds: int = 200
+    local_epochs: int = 1  # E
+    batch_size: int = 64
+
+    # Local optimizer (η)
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    proximal_mu: float = 0.0  # FedProx proximal term μ·||w − w_t||²/2 (0 = off)
+    local_optimizer: str = "sgd"  # "sgd" | "adam"
+
+    # Algorithm under test
+    algorithm: str = "fedavg"
+    compression_ratio: float = 1.0  # CR* (retained fraction; 1.0 = dense)
+    alpha: float = 0.3  # server learning rate in Eq. 6
+    gamma: float = 5.0  # OPWA enlarge rate γ
+    required_overlap: int = 1  # OPWA threshold D
+    norm_mode: str = "sum"  # Eq. 6 Norm() variant
+    benchmark: str = "max"  # BCRS benchmark rule
+    server_step: float = 1.0  # η_s in Alg. 1 lines 14/16/18 (server-opt LR)
+    server_optimizer: str = "sgd"  # FedOpt family: "sgd" (FedAvg/FedAvgM) | "adam" (FedAdam)
+    server_momentum: float = 0.0  # FedAvgM momentum (server_optimizer="sgd")
+    deadline_quantile: float = 0.5  # deadline_topk: round ends at this time quantile
+
+    # Environment
+    partition: str = "dirichlet"  # dirichlet | iid | shard
+    volume_override_bits: float | None = None  # simulate a paper-scale model volume
+    include_downlink: bool = False  # add broadcast (downlink) time to round metrics
+    downlink_factor: float = 10.0  # downlink bandwidth = factor × uplink (Sec. 3.3)
+    time_varying_links: bool = False
+    link_volatility: float = 0.1
+    seed: int = 0
+    eval_every: int = 1  # evaluate test accuracy every k rounds
+
+    def __post_init__(self):
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}")
+        check_fraction("participation", self.participation)
+        check_fraction("compression_ratio", self.compression_ratio)
+        check_positive("beta", self.beta)
+        check_positive("lr", self.lr)
+        check_positive("alpha", self.alpha)
+        check_positive("gamma", self.gamma)
+        for name in ("num_clients", "rounds", "local_epochs", "batch_size", "num_train", "num_test", "eval_every"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.partition not in ("dirichlet", "iid", "shard"):
+            raise ValueError(f"unknown partition {self.partition!r}")
+        if self.volume_override_bits is not None and self.volume_override_bits <= 0:
+            raise ValueError(
+                f"volume_override_bits must be > 0, got {self.volume_override_bits}"
+            )
+        if self.proximal_mu < 0:
+            raise ValueError(f"proximal_mu must be >= 0, got {self.proximal_mu}")
+        if self.local_optimizer not in ("sgd", "adam"):
+            raise ValueError(
+                f"local_optimizer must be 'sgd' or 'adam', got {self.local_optimizer!r}"
+            )
+        if self.server_optimizer not in ("sgd", "adam"):
+            raise ValueError(
+                f"server_optimizer must be 'sgd' or 'adam', got {self.server_optimizer!r}"
+            )
+        if not 0 <= self.server_momentum < 1:
+            raise ValueError(f"server_momentum must be in [0, 1), got {self.server_momentum}")
+        check_positive("downlink_factor", self.downlink_factor)
+        check_fraction("deadline_quantile", self.deadline_quantile)
+
+    @property
+    def clients_per_round(self) -> int:
+        """|S_t| = max(1, round(N·C))."""
+        return max(1, int(round(self.num_clients * self.participation)))
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """Functional update (configs are frozen)."""
+        return replace(self, **overrides)

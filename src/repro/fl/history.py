@@ -1,0 +1,114 @@
+"""Per-round records and the run history (curves for every paper figure)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.metrics import RoundTimes, TimeAccumulator
+
+__all__ = ["RoundRecord", "History"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything measured in one communication round."""
+
+    round_index: int
+    selected: tuple[int, ...]
+    train_loss: float
+    test_accuracy: float | None  # None on rounds without evaluation
+    times: RoundTimes
+    ratios: tuple[float, ...]  # realized per-client compression ratios
+    weights: tuple[float, ...]  # averaging coefficients used
+    singleton_fraction: float | None  # OPWA diagnostics (None when dense)
+    train_seconds: float  # wall-clock local training time (Fig. 6)
+    compress_seconds: float  # wall-clock compress+decompress time (Fig. 6)
+
+
+@dataclass
+class History:
+    """Accumulated run record: what every table/figure is computed from."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+    time: TimeAccumulator = field(default_factory=TimeAccumulator)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+        self.time.update(record.times)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ---- series accessors -------------------------------------------------
+
+    def accuracy_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(round indexes, test accuracies) at evaluated rounds — Fig. 7–9/13–15."""
+        pts = [(r.round_index, r.test_accuracy) for r in self.records if r.test_accuracy is not None]
+        if not pts:
+            return np.empty(0, int), np.empty(0)
+        rounds, accs = zip(*pts)
+        return np.asarray(rounds), np.asarray(accs)
+
+    def accuracy_vs_time(self) -> tuple[np.ndarray, np.ndarray]:
+        """(cumulative actual comm time, accuracy) at evaluated rounds — Fig. 10."""
+        cum = self.time.actual_series
+        pts = [
+            (cum[i], r.test_accuracy)
+            for i, r in enumerate(self.records)
+            if r.test_accuracy is not None
+        ]
+        if not pts:
+            return np.empty(0), np.empty(0)
+        t, accs = zip(*pts)
+        return np.asarray(t), np.asarray(accs)
+
+    def final_accuracy(self) -> float:
+        """Last evaluated test accuracy — the Table 2 number."""
+        _, accs = self.accuracy_series()
+        if accs.size == 0:
+            raise ValueError("no evaluations recorded")
+        return float(accs[-1])
+
+    def best_accuracy(self) -> float:
+        """Best evaluated test accuracy over the run."""
+        _, accs = self.accuracy_series()
+        if accs.size == 0:
+            raise ValueError("no evaluations recorded")
+        return float(accs.max())
+
+    # ---- Table 3: time to target accuracy ----------------------------------
+
+    def time_to_accuracy(self, target: float) -> dict[str, float | None]:
+        """Accumulated Actual/Max/Min communication time when ``target`` is
+        first reached (None if never) — the Table 3 extraction."""
+        actual = maximum = minimum = 0.0
+        for r in self.records:
+            actual += r.times.actual
+            maximum += r.times.maximum
+            minimum += r.times.minimum
+            if r.test_accuracy is not None and r.test_accuracy >= target:
+                return {"actual": actual, "max": maximum, "min": minimum}
+        return {"actual": None, "max": None, "min": None}
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First round index reaching ``target`` accuracy (None if never)."""
+        for r in self.records:
+            if r.test_accuracy is not None and r.test_accuracy >= target:
+                return r.round_index
+        return None
+
+    # ---- Fig. 6: time breakdown --------------------------------------------
+
+    def mean_breakdown(self) -> dict[str, float]:
+        """Average per-round wall/simulated times: the Fig. 6 bars."""
+        if not self.records:
+            raise ValueError("empty history")
+        n = len(self.records)
+        return {
+            "compress_s": sum(r.compress_seconds for r in self.records) / n,
+            "train_s": sum(r.train_seconds for r in self.records) / n,
+            "comm_uncompressed_s": self.time.max_total / n,
+            "comm_actual_s": self.time.actual_total / n,
+        }

@@ -1,0 +1,28 @@
+"""Client sampling: the fraction-C uniform selection of FedAvg (Alg. 1 line 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["UniformSampler"]
+
+
+class UniformSampler:
+    """Sample ``clients_per_round`` distinct clients uniformly each round."""
+
+    def __init__(self, num_clients: int, clients_per_round: int, seed: int | np.random.Generator = 0):
+        if not 1 <= clients_per_round <= num_clients:
+            raise ValueError(
+                f"need 1 <= clients_per_round <= num_clients, got "
+                f"{clients_per_round} of {num_clients}"
+            )
+        self.num_clients = int(num_clients)
+        self.clients_per_round = int(clients_per_round)
+        self.rng = as_generator(seed)
+
+    def sample(self) -> np.ndarray:
+        """Return sorted distinct client ids for this round (the set S_t)."""
+        ids = self.rng.choice(self.num_clients, size=self.clients_per_round, replace=False)
+        return np.sort(ids)

@@ -1,0 +1,265 @@
+"""The federated simulation engine — Algorithm 1 end to end.
+
+One :class:`Simulation` owns the dataset, partition, client pool, network
+links, global model and algorithm, and advances round by round:
+
+1. sample the client set ``S_t`` (Alg. 1 line 7);
+2. each selected client trains locally from ``w_t`` (lines 9–11, 21–27);
+3. the algorithm plans ratios/coefficients (BCRS, Alg. 2) and clients
+   compress their updates (line 12);
+4. the round's communication times are scored with the Sec. 5.2 metrics;
+5. the server aggregates (lines 14–18, with the OPWA mask of Alg. 3 when
+   enabled) and evaluates the new global model.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compression.base import CompressedUpdate, DenseUpdate, SparseUpdate
+from repro.compression.registry import make_compressor
+from repro.core.aggregation import weighted_sparse_sum
+from repro.core.opwa import opwa_mask_from_updates
+from repro.core.server_opt import make_server_optimizer
+from repro.core.overlap import overlap_distribution
+from repro.data.datasets import DATASET_SPECS, train_test_split
+from repro.data.partition import dirichlet_partition, iid_partition, shard_partition
+from repro.fl.algorithms import Algorithm, make_algorithm
+from repro.fl.client import Client
+from repro.fl.config import ExperimentConfig
+from repro.fl.history import History, RoundRecord
+from repro.fl.sampler import UniformSampler
+from repro.network.cost import LinkSpec, model_bits
+from repro.network.links import PAPER_LINK_MODEL, TimeVaryingLink, sample_links
+from repro.nn.losses import accuracy as batch_accuracy
+from repro.nn.models import build_model
+from repro.nn.params import get_flat_params, num_parameters, set_flat_params
+from repro.utils.rng import RngFactory
+
+__all__ = ["Simulation", "run_experiment"]
+
+
+class Simulation:
+    """A fully-seeded single-process FL run."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        rngs = RngFactory(config.seed)
+
+        # Data: shared templates for train/test, then a client partition.
+        spec = DATASET_SPECS[config.dataset]
+        self.train_set, self.test_set = train_test_split(
+            spec, config.num_train, config.num_test, seed=config.seed
+        )
+        if config.partition == "dirichlet":
+            self.partition = dirichlet_partition(
+                self.train_set.y, config.num_clients, config.beta, seed=rngs.stream("partition")
+            )
+        elif config.partition == "iid":
+            self.partition = iid_partition(
+                self.train_set.y, config.num_clients, seed=rngs.stream("partition")
+            )
+        else:
+            self.partition = shard_partition(
+                self.train_set.y, config.num_clients, seed=rngs.stream("partition")
+            )
+
+        # Model and its flat-parameter view.
+        self.model = build_model(
+            config.model,
+            in_channels=spec.channels,
+            image_size=spec.image_size,
+            num_classes=spec.num_classes,
+            seed=rngs.stream("model"),
+        )
+        self.global_params = get_flat_params(self.model)
+        self.global_states = [a.copy() for a in self.model.state_arrays()]
+        # The timing simulation can price a paper-scale model (e.g. ResNet-18's
+        # volume) while the trained model stays CPU-sized; the compression and
+        # aggregation pipeline is identical either way.
+        self.volume_bits = (
+            config.volume_override_bits
+            if config.volume_override_bits is not None
+            else model_bits(num_parameters(self.model))
+        )
+
+        # Clients with independent data-order streams.
+        flatten = config.model == "mlp"
+        self.clients = [
+            Client(
+                cid,
+                self.train_set.subset(ix),
+                config.batch_size,
+                rngs.child("client", cid),
+                flatten_inputs=flatten,
+            )
+            for cid, ix in enumerate(self.partition.client_indices)
+        ]
+
+        # Network links (paper Sec. 5.2), optionally drifting per round.
+        self.links: list[LinkSpec] = sample_links(
+            config.num_clients, PAPER_LINK_MODEL, seed=rngs.stream("links")
+        )
+        self._varying: list[TimeVaryingLink] | None = None
+        if config.time_varying_links:
+            link_rng = rngs.stream("link-drift")
+            self._varying = [
+                TimeVaryingLink(l, link_rng, volatility=config.link_volatility)
+                for l in self.links
+            ]
+
+        self.sampler = UniformSampler(
+            config.num_clients, config.clients_per_round, seed=rngs.stream("sampler")
+        )
+        self.algorithm: Algorithm = make_algorithm(config)
+        comp_name = self.algorithm.compressor_name
+        self.compressors = (
+            [make_compressor(comp_name, seed=rngs.child("compressor", cid)) for cid in range(config.num_clients)]
+            if comp_name
+            else None
+        )
+
+        # Server optimizer over the aggregated pseudo-gradient (FedOpt family;
+        # plain SGD with lr=server_step and no momentum is Algorithm 1 verbatim).
+        if config.server_optimizer == "sgd":
+            self.server_opt = make_server_optimizer(
+                "sgd", lr=config.server_step, momentum=config.server_momentum
+            )
+        else:
+            self.server_opt = make_server_optimizer("adam", lr=config.server_step)
+
+        self.history = History()
+        self.round_index = 0
+        #: Sparse updates of the most recent round (for overlap analysis, Fig. 4).
+        self.last_round_updates: list[CompressedUpdate] = []
+
+    # ------------------------------------------------------------------ round
+
+    def run_round(self) -> RoundRecord:
+        """Advance one communication round and return its record."""
+        cfg = self.config
+        selected = self.sampler.sample()
+        if self._varying is not None:
+            self.links = [tv.step() for tv in self._varying]
+        sel_links = [self.links[i] for i in selected]
+
+        # f_i = |D_i| / n over the selected set (Alg. 1 lines 8/13).
+        sizes = np.array([self.clients[i].num_samples for i in selected], dtype=np.float64)
+        freqs = sizes / sizes.sum()
+
+        plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)
+
+        # Local training (line 11) on the shared model instance.
+        t0 = time.perf_counter()
+        results = []
+        for cid in selected:
+            for live, saved in zip(self.model.state_arrays(), self.global_states):
+                live[...] = saved
+            results.append(
+                self.clients[cid].local_train(
+                    self.model,
+                    self.global_params,
+                    lr=cfg.lr,
+                    epochs=cfg.local_epochs,
+                    momentum=cfg.momentum,
+                    weight_decay=cfg.weight_decay,
+                    proximal_mu=cfg.proximal_mu,
+                    optimizer=cfg.local_optimizer,
+                )
+            )
+        train_seconds = time.perf_counter() - t0
+
+        # Compression (line 12).
+        t0 = time.perf_counter()
+        updates: list[CompressedUpdate] = []
+        if plan.ratios is None:
+            for res in results:
+                updates.append(DenseUpdate(dense_size=res.delta.shape[0], values=res.delta))
+        else:
+            for pos, (cid, res) in enumerate(zip(selected, results)):
+                updates.append(
+                    self.compressors[cid].compress(res.delta, float(plan.ratios[pos]))
+                )
+        compress_seconds = time.perf_counter() - t0
+        self.last_round_updates = updates
+
+        # OPWA mask (line 17) and aggregation (lines 14/16/18).
+        mask = None
+        singleton = None
+        sparse_updates = [u for u in updates if isinstance(u, SparseUpdate)]
+        if sparse_updates:
+            singleton = overlap_distribution(sparse_updates).singleton_fraction()
+        if plan.use_opwa and sparse_updates:
+            mask = opwa_mask_from_updates(
+                sparse_updates, cfg.gamma, required_overlap=cfg.required_overlap
+            )
+        pseudo_grad = weighted_sparse_sum(updates, plan.weights, mask=mask)
+        self.global_params = self.server_opt.step(self.global_params, pseudo_grad)
+
+        # FedAvg also averages persistent buffers (BN running stats).
+        if self.global_states:
+            for j in range(len(self.global_states)):
+                acc = np.zeros_like(self.global_states[j], dtype=np.float64)
+                for f, res in zip(freqs, results):
+                    acc += f * res.state_arrays[j]
+                self.global_states[j] = acc.astype(self.global_states[j].dtype)
+
+        # Evaluation cadence.
+        evaluate = (self.round_index % cfg.eval_every == 0) or (
+            self.round_index == cfg.rounds - 1
+        )
+        test_acc = self.evaluate() if evaluate else None
+
+        realized = (
+            tuple(float(u.density) for u in updates if isinstance(u, SparseUpdate))
+            if plan.ratios is not None
+            else tuple(1.0 for _ in updates)
+        )
+        record = RoundRecord(
+            round_index=self.round_index,
+            selected=tuple(int(i) for i in selected),
+            train_loss=float(np.mean([r.mean_loss for r in results])),
+            test_accuracy=test_acc,
+            times=plan.times,
+            ratios=realized,
+            weights=tuple(float(w) for w in plan.weights),
+            singleton_fraction=singleton,
+            train_seconds=train_seconds,
+            compress_seconds=compress_seconds,
+        )
+        self.history.append(record)
+        self.round_index += 1
+        return record
+
+    def run(self, rounds: int | None = None) -> History:
+        """Run ``rounds`` (default: the configured count) and return history."""
+        total = self.config.rounds if rounds is None else rounds
+        for _ in range(total):
+            self.run_round()
+        return self.history
+
+    # ------------------------------------------------------------------ eval
+
+    def evaluate(self, batch_size: int = 256) -> float:
+        """Test accuracy of the current global model."""
+        set_flat_params(self.model, self.global_params)
+        for live, saved in zip(self.model.state_arrays(), self.global_states):
+            live[...] = saved
+        correct = 0
+        n = len(self.test_set)
+        flatten = self.config.model == "mlp"
+        for start in range(0, n, batch_size):
+            x = self.test_set.x[start : start + batch_size]
+            y = self.test_set.y[start : start + batch_size]
+            if flatten:
+                x = x.reshape(x.shape[0], -1)
+            logits = self.model(x, training=False)
+            correct += int((logits.argmax(axis=1) == y).sum())
+        return correct / n
+
+
+def run_experiment(config: ExperimentConfig) -> History:
+    """Convenience: build and run a full simulation."""
+    return Simulation(config).run()

@@ -1,0 +1,86 @@
+"""Persist run histories: JSON round records and CSV curve exports."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.fl.history import History, RoundRecord
+from repro.network.metrics import RoundTimes
+
+__all__ = ["history_to_dict", "history_from_dict", "save_history", "load_history", "export_curves_csv"]
+
+
+def history_to_dict(history: History) -> dict:
+    """JSON-serializable representation of a run history."""
+    return {
+        "records": [
+            {
+                "round_index": r.round_index,
+                "selected": list(r.selected),
+                "train_loss": r.train_loss,
+                "test_accuracy": r.test_accuracy,
+                "times": {
+                    "actual": r.times.actual,
+                    "maximum": r.times.maximum,
+                    "minimum": r.times.minimum,
+                },
+                "ratios": list(r.ratios),
+                "weights": list(r.weights),
+                "singleton_fraction": r.singleton_fraction,
+                "train_seconds": r.train_seconds,
+                "compress_seconds": r.compress_seconds,
+            }
+            for r in history.records
+        ]
+    }
+
+
+def history_from_dict(data: dict) -> History:
+    """Rebuild a :class:`History` from :func:`history_to_dict` output."""
+    h = History()
+    for rec in data["records"]:
+        h.append(
+            RoundRecord(
+                round_index=int(rec["round_index"]),
+                selected=tuple(rec["selected"]),
+                train_loss=float(rec["train_loss"]),
+                test_accuracy=rec["test_accuracy"],
+                times=RoundTimes(
+                    actual=rec["times"]["actual"],
+                    maximum=rec["times"]["maximum"],
+                    minimum=rec["times"]["minimum"],
+                ),
+                ratios=tuple(rec["ratios"]),
+                weights=tuple(rec["weights"]),
+                singleton_fraction=rec["singleton_fraction"],
+                train_seconds=float(rec["train_seconds"]),
+                compress_seconds=float(rec["compress_seconds"]),
+            )
+        )
+    return h
+
+
+def save_history(history: History, path: str | Path) -> None:
+    """Write a history to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(history_to_dict(history)))
+
+
+def load_history(path: str | Path) -> History:
+    """Read a history written by :func:`save_history`."""
+    return history_from_dict(json.loads(Path(path).read_text()))
+
+
+def export_curves_csv(history: History, path: str | Path) -> None:
+    """Write (round, cumulative_time, accuracy) rows — the figure series."""
+    cum = history.time.actual_series
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["round", "cumulative_actual_time_s", "test_accuracy"])
+        for i, r in enumerate(history.records):
+            writer.writerow([
+                r.round_index,
+                f"{cum[i]:.6f}",
+                "" if r.test_accuracy is None else f"{r.test_accuracy:.6f}",
+            ])

@@ -1,0 +1,28 @@
+"""Network substrate: the paper's cost model, link sampling, and time metrics."""
+
+from repro.network.cost import (
+    SPARSE_VOLUME_FACTOR,
+    LinkSpec,
+    model_bits,
+    sparse_uplink_time,
+    uplink_time,
+)
+from repro.network.links import MBIT, PAPER_LINK_MODEL, LinkModel, TimeVaryingLink, sample_links
+from repro.network.metrics import RoundTimes, TimeAccumulator
+from repro.network.topology import StarTopology
+
+__all__ = [
+    "LinkSpec",
+    "model_bits",
+    "uplink_time",
+    "sparse_uplink_time",
+    "SPARSE_VOLUME_FACTOR",
+    "LinkModel",
+    "PAPER_LINK_MODEL",
+    "MBIT",
+    "sample_links",
+    "TimeVaryingLink",
+    "RoundTimes",
+    "TimeAccumulator",
+    "StarTopology",
+]

@@ -1,0 +1,77 @@
+"""Star-topology helper around client links.
+
+FL is server-centric, so the physical topology is a star; this module keeps
+client↔link bookkeeping in one place and can export the star as a networkx
+graph for inspection/visualization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.cost import LinkSpec, sparse_uplink_time, uplink_time
+
+__all__ = ["StarTopology"]
+
+
+class StarTopology:
+    """Server at the hub, one uplink spec per client."""
+
+    def __init__(self, links: list[LinkSpec]):
+        if not links:
+            raise ValueError("need at least one client link")
+        self.links = list(links)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.links)
+
+    def link(self, client_id: int) -> LinkSpec:
+        """The uplink of ``client_id``."""
+        return self.links[client_id]
+
+    def bandwidths(self) -> np.ndarray:
+        """Vector of client bandwidths (bits/s)."""
+        return np.array([l.bandwidth_bps for l in self.links])
+
+    def latencies(self) -> np.ndarray:
+        """Vector of client latencies (s)."""
+        return np.array([l.latency_s for l in self.links])
+
+    def uplink_times(self, volume_bits: float, client_ids: list[int] | None = None) -> np.ndarray:
+        """Dense-upload times for the given clients (default: all)."""
+        ids = range(self.num_clients) if client_ids is None else client_ids
+        return np.array([uplink_time(self.links[i], volume_bits) for i in ids])
+
+    def sparse_uplink_times(
+        self,
+        dense_volume_bits: float,
+        crs: np.ndarray,
+        client_ids: list[int],
+    ) -> np.ndarray:
+        """Sparse-upload times for ``client_ids`` with per-client ratios ``crs``."""
+        crs = np.asarray(crs, dtype=np.float64)
+        if len(client_ids) != crs.shape[0]:
+            raise ValueError(f"{len(client_ids)} clients but {crs.shape[0]} ratios")
+        return np.array(
+            [
+                sparse_uplink_time(self.links[i], dense_volume_bits, cr)
+                for i, cr in zip(client_ids, crs)
+            ]
+        )
+
+    def to_networkx(self):
+        """Export as a networkx star graph with link attributes (optional dep)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node("server")
+        for i, link in enumerate(self.links):
+            g.add_node(f"client{i}")
+            g.add_edge(
+                "server",
+                f"client{i}",
+                bandwidth_bps=link.bandwidth_bps,
+                latency_s=link.latency_s,
+            )
+        return g

@@ -1,0 +1,42 @@
+"""Loss functions returning (scalar loss, gradient w.r.t. logits)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+__all__ = ["cross_entropy", "mse_loss", "accuracy"]
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over a batch of integer labels.
+
+    Returns ``(loss, dloss/dlogits)`` where the gradient already includes the
+    1/N batch-mean factor.
+    """
+    labels = np.asarray(labels)
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match batch {n}")
+    lsm = log_softmax(logits, axis=1)
+    loss = -float(lsm[np.arange(n), labels].mean())
+    grad = softmax(logits, axis=1)
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad.astype(logits.dtype)
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = (2.0 / diff.size) * diff
+    return loss, grad.astype(pred.dtype)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy for a batch."""
+    return float((logits.argmax(axis=1) == np.asarray(labels)).mean())

@@ -1,0 +1,149 @@
+"""Optimizers and learning-rate schedules for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["SGD", "Adam", "StepLR", "CosineLR", "ConstantLR"]
+
+
+class SGD:
+    """SGD with optional momentum and decoupled weight decay.
+
+    Updates happen in place on ``Parameter.data`` (HPC guide: avoid copies in
+    hot loops).
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.params = list(params)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.params] if momentum > 0 else None
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        for i, p in enumerate(self.params):
+            g = p.grad
+            if self.weight_decay > 0:
+                g = g + self.weight_decay * p.data
+            if self._velocity is not None:
+                v = self._velocity[i]
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam:
+    """Adam with decoupled weight decay (AdamW-style).
+
+    State updates are fully in-place on preallocated moment buffers.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.params = list(params)
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._t += 1
+        bc1 = 1 - self.beta1**self._t
+        bc2 = 1 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            if self.weight_decay > 0:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class ConstantLR:
+    """Constant learning rate schedule."""
+
+    def __init__(self, lr: float):
+        self.lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class StepLR:
+    """Multiply the base LR by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, base_lr: float, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be > 0, got {step_size}")
+        self.base_lr = float(base_lr)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def __call__(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class CosineLR:
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, base_lr: float, total_steps: int, min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be > 0, got {total_steps}")
+        self.base_lr = float(base_lr)
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def __call__(self, step: int) -> float:
+        t = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * t))

@@ -1,0 +1,93 @@
+"""Flat-vector views of model parameters.
+
+FL communication operates on a single contiguous float32 vector per model
+(the mpi4py guide's buffer-object idiom): clients send/receive flat vectors,
+and the substrate packs/unpacks them here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+__all__ = [
+    "num_parameters",
+    "get_flat_params",
+    "set_flat_params",
+    "get_flat_grads",
+    "param_slices",
+    "clone_state",
+    "restore_state",
+]
+
+
+def num_parameters(model: Layer) -> int:
+    """Total scalar parameter count of ``model``."""
+    return int(sum(p.size for p in model.parameters()))
+
+
+def param_slices(model: Layer) -> list[tuple[str, slice, tuple[int, ...]]]:
+    """Describe the flat layout: (name, slice in the flat vector, shape)."""
+    out: list[tuple[str, slice, tuple[int, ...]]] = []
+    offset = 0
+    for p in model.parameters():
+        out.append((p.name, slice(offset, offset + p.size), p.data.shape))
+        offset += p.size
+    return out
+
+
+def get_flat_params(model: Layer, out: np.ndarray | None = None) -> np.ndarray:
+    """Copy all parameters into one contiguous float32 vector."""
+    n = num_parameters(model)
+    if out is None:
+        out = np.empty(n, dtype=np.float32)
+    elif out.shape != (n,):
+        raise ValueError(f"out has shape {out.shape}, expected ({n},)")
+    offset = 0
+    for p in model.parameters():
+        out[offset : offset + p.size] = p.data.ravel()
+        offset += p.size
+    return out
+
+
+def set_flat_params(model: Layer, flat: np.ndarray) -> None:
+    """Load parameters from a flat vector (inverse of :func:`get_flat_params`)."""
+    n = num_parameters(model)
+    flat = np.asarray(flat, dtype=np.float32)
+    if flat.shape != (n,):
+        raise ValueError(f"flat has shape {flat.shape}, expected ({n},)")
+    offset = 0
+    for p in model.parameters():
+        p.data[...] = flat[offset : offset + p.size].reshape(p.data.shape)
+        offset += p.size
+
+
+def get_flat_grads(model: Layer, out: np.ndarray | None = None) -> np.ndarray:
+    """Copy all gradients into one contiguous float32 vector."""
+    n = num_parameters(model)
+    if out is None:
+        out = np.empty(n, dtype=np.float32)
+    elif out.shape != (n,):
+        raise ValueError(f"out has shape {out.shape}, expected ({n},)")
+    offset = 0
+    for p in model.parameters():
+        out[offset : offset + p.size] = p.grad.ravel()
+        offset += p.size
+    return out
+
+
+def clone_state(model: Layer) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Snapshot parameters and persistent state (BN running stats)."""
+    return get_flat_params(model), [a.copy() for a in model.state_arrays()]
+
+
+def restore_state(model: Layer, snapshot: tuple[np.ndarray, list[np.ndarray]]) -> None:
+    """Restore a snapshot produced by :func:`clone_state`."""
+    flat, states = snapshot
+    set_flat_params(model, flat)
+    live = model.state_arrays()
+    if len(live) != len(states):
+        raise ValueError(f"state count mismatch: {len(live)} vs {len(states)}")
+    for dst, src in zip(live, states):
+        dst[...] = src

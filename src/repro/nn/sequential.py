@@ -1,0 +1,124 @@
+"""Containers: Sequential composition and residual blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Layer, Parameter, ReLU
+
+__all__ = ["Sequential", "BasicBlock"]
+
+
+class Sequential(Layer):
+    """Apply layers in order; backward walks them in reverse."""
+
+    def __init__(self, *layers: Layer):
+        self.layers: list[Layer] = list(layers)
+
+    def append(self, layer: Layer) -> "Sequential":
+        """Add ``layer`` at the end (builder style)."""
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out
+
+    def state_arrays(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for layer in self.layers:
+            out.extend(layer.state_arrays())
+        return out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, i: int) -> Layer:
+        return self.layers[i]
+
+
+class BasicBlock(Layer):
+    """ResNet basic block: conv-bn-relu-conv-bn plus (projected) skip, then ReLU.
+
+    Matches the ResNet-18 building block of He et al. (2016), which the paper
+    evaluates with; here it is used in the scaled-down ``MiniResNet``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator,
+        *,
+        stride: int = 1,
+        name: str = "block",
+    ):
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, rng, stride=stride, padding=1, bias=False, name=f"{name}.conv1"
+        )
+        self.bn1 = BatchNorm2d(out_channels, name=f"{name}.bn1")
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, rng, stride=1, padding=1, bias=False, name=f"{name}.conv2")
+        self.bn2 = BatchNorm2d(out_channels, name=f"{name}.bn2")
+        self.downsample: Sequential | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, rng, stride=stride, bias=False, name=f"{name}.proj"),
+                BatchNorm2d(out_channels, name=f"{name}.proj_bn"),
+            )
+        self._out_mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        identity = x if self.downsample is None else self.downsample.forward(x, training=training)
+        out = self.conv1.forward(x, training=training)
+        out = self.bn1.forward(out, training=training)
+        out = self.relu1.forward(out, training=training)
+        out = self.conv2.forward(out, training=training)
+        out = self.bn2.forward(out, training=training)
+        out = out + identity
+        mask = out > 0
+        if training:
+            self._out_mask = mask
+        return np.where(mask, out, 0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out_mask is None:
+            raise RuntimeError("backward called before a training forward pass")
+        g = np.where(self._out_mask, grad_out, 0)
+        self._out_mask = None
+        g_main = self.bn2.backward(g)
+        g_main = self.conv2.backward(g_main)
+        g_main = self.relu1.backward(g_main)
+        g_main = self.bn1.backward(g_main)
+        g_main = self.conv1.backward(g_main)
+        g_skip = g if self.downsample is None else self.downsample.backward(g)
+        return g_main + g_skip
+
+    def parameters(self) -> list[Parameter]:
+        out = (
+            self.conv1.parameters()
+            + self.bn1.parameters()
+            + self.conv2.parameters()
+            + self.bn2.parameters()
+        )
+        if self.downsample is not None:
+            out.extend(self.downsample.parameters())
+        return out
+
+    def state_arrays(self) -> list[np.ndarray]:
+        out = self.bn1.state_arrays() + self.bn2.state_arrays()
+        if self.downsample is not None:
+            out.extend(self.downsample.state_arrays())
+        return out

@@ -1,0 +1,5 @@
+"""Terminal visualization (ASCII charts) for curves and breakdowns."""
+
+from repro.viz.ascii import ascii_bars, ascii_plot
+
+__all__ = ["ascii_plot", "ascii_bars"]

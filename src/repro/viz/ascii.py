@@ -1,0 +1,86 @@
+"""Terminal plotting: multi-series line charts and bar charts in ASCII.
+
+No matplotlib in this environment, so the figure benches and CLI render
+curves as text. Deterministic output makes the charts testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_bars"]
+
+_MARKERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def ascii_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    width: int = 70,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on a shared-axis character grid.
+
+    Each series gets a letter marker; later series overwrite earlier ones on
+    collisions. Returns the chart plus a legend.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"too many series ({len(series)} > {len(_MARKERS)})")
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+
+    xs_all = np.concatenate([np.asarray(x, dtype=np.float64) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=np.float64) for _, y in series.values()])
+    if xs_all.size == 0:
+        raise ValueError("series are empty")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (name, (x, y)) in zip(_MARKERS, series.items()):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape:
+            raise ValueError(f"series {name!r}: x/y length mismatch")
+        cols = np.clip(((x - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int), 0, width - 1)
+        rows = np.clip(((y - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int), 0, height - 1)
+        for r, c in zip(rows, cols):
+            grid[height - 1 - r][c] = marker
+        legend.append(f"  {marker} = {name}")
+
+    top = f"{y_hi:.3g} ┤"
+    bottom = f"{y_lo:.3g} ┤"
+    pad = max(len(top), len(bottom))
+    lines = []
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else (bottom if i == height - 1 else " " * (pad - 1) + "│")
+        lines.append(prefix.rjust(pad) + "".join(row))
+    lines.append(" " * (pad - 1) + "└" + "─" * width)
+    lines.append(" " * pad + f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}")
+    lines.append(f"{y_label} vs {x_label}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(values: dict[str, float], *, width: int = 50, unit: str = "") -> str:
+    """Horizontal bar chart for labelled scalars (the Fig. 6 style)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar values must be >= 0")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = []
+    for k, v in values.items():
+        bar = "█" * int(round(v / peak * width))
+        lines.append(f"{k.ljust(label_w)}  {bar} {v:.3g}{unit}")
+    return "\n".join(lines)

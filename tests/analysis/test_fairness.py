@@ -1,0 +1,48 @@
+"""Tests for per-client fairness evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import FairnessReport, fairness_report, per_client_accuracy
+from repro.fl.config import ExperimentConfig
+from repro.fl.simulation import Simulation
+
+FAST = dict(num_train=500, num_test=150, rounds=6, num_clients=5, participation=0.6,
+            lr=0.1, model="mlp", eval_every=3)
+
+
+class TestFairnessReport:
+    def test_statistics(self):
+        rep = FairnessReport(np.array([0.2, 0.4, 0.6, 0.8]))
+        assert rep.mean == pytest.approx(0.5)
+        assert rep.worst == 0.2
+        assert rep.best == 0.8
+        assert rep.bottom_decile_mean() == pytest.approx(0.2)
+
+    def test_bottom_decile_with_many_clients(self):
+        accs = np.linspace(0, 1, 20)
+        rep = FairnessReport(accs)
+        assert rep.bottom_decile_mean() == pytest.approx(accs[:2].mean())
+
+
+class TestPerClientAccuracy:
+    def test_shape_and_range(self):
+        sim = Simulation(ExperimentConfig(**FAST, beta=0.1))
+        sim.run()
+        accs = per_client_accuracy(sim)
+        assert accs.shape == (5,)
+        assert np.all((0 <= accs) & (accs <= 1))
+
+    def test_noniid_more_dispersed_than_iid(self):
+        """Label skew should widen the per-client accuracy spread."""
+        skew = Simulation(ExperimentConfig(**FAST, beta=0.1, seed=1))
+        skew.run()
+        iid = Simulation(ExperimentConfig(**FAST, partition="iid", seed=1))
+        iid.run()
+        assert fairness_report(skew).std >= fairness_report(iid).std - 0.02
+
+    def test_report_from_simulation(self):
+        sim = Simulation(ExperimentConfig(**FAST))
+        sim.run()
+        rep = fairness_report(sim)
+        assert rep.worst <= rep.mean <= rep.best

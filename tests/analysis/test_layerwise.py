@@ -1,0 +1,57 @@
+"""Tests for per-layer compression/overlap decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.layerwise import layer_density, layer_singleton_fraction
+from repro.compression.base import SparseUpdate
+from repro.compression.sparsifiers import TopK
+from repro.nn.models import build_mlp
+from repro.nn.params import num_parameters, param_slices
+
+
+def sparse(d, idx):
+    idx = np.asarray(idx, dtype=np.int64)
+    return SparseUpdate(dense_size=d, indices=idx, values=np.ones(len(idx), np.float32))
+
+
+SLICES = [("a", slice(0, 4), (4,)), ("b", slice(4, 10), (6,))]
+
+
+class TestLayerDensity:
+    def test_exact_fractions(self):
+        u = sparse(10, [0, 1, 5])
+        out = layer_density(u, SLICES)
+        assert out["a"] == pytest.approx(0.5)
+        assert out["b"] == pytest.approx(1 / 6)
+
+    def test_empty_layer_zero(self):
+        u = sparse(10, [0])
+        assert layer_density(u, SLICES)["b"] == 0.0
+
+    def test_on_real_model(self, rng):
+        model = build_mlp(16, 4, hidden=(8,), seed=0)
+        d = num_parameters(model)
+        update = TopK().compress(rng.normal(size=d).astype(np.float32), 0.1)
+        out = layer_density(update, param_slices(model))
+        assert set(out) == {s[0] for s in param_slices(model)}
+        # Densities average (weighted) to the global ratio.
+        total = sum(
+            out[name] * (sl.stop - sl.start) for name, sl, _ in param_slices(model)
+        )
+        assert total == pytest.approx(update.nnz)
+
+
+class TestLayerSingletons:
+    def test_mixed_overlap(self):
+        u1 = sparse(10, [0, 5])
+        u2 = sparse(10, [0, 6])
+        out = layer_singleton_fraction([u1, u2], SLICES)
+        assert out["a"] == pytest.approx(0.0)  # index 0 overlaps fully
+        assert out["b"] == pytest.approx(1.0)  # 5 and 6 are singletons
+
+    def test_unretained_layer_nan(self):
+        u1 = sparse(10, [0])
+        u2 = sparse(10, [1])
+        out = layer_singleton_fraction([u1, u2], SLICES)
+        assert np.isnan(out["b"])

@@ -1,0 +1,81 @@
+"""Tests for PowerSGD-style low-rank compression."""
+
+import numpy as np
+import pytest
+
+from repro.compression.base import compression_error
+from repro.compression.lowrank import LowRankCompressor, LowRankUpdate
+from repro.nn.models import build_mlp, build_small_cnn
+from repro.nn.params import get_flat_params, num_parameters, param_slices
+
+
+@pytest.fixture
+def mlp():
+    return build_mlp(16, 4, hidden=(12,), seed=0)
+
+
+def flat_update(model, rng):
+    return rng.normal(size=num_parameters(model)).astype(np.float32)
+
+
+class TestLowRankCompressor:
+    def test_reconstruction_shape(self, mlp, rng):
+        comp = LowRankCompressor(param_slices(mlp), rank=2, seed=0)
+        u = flat_update(mlp, rng)
+        out = comp.compress(u)
+        assert out.to_dense().shape == u.shape
+
+    def test_biases_carried_exactly(self, mlp, rng):
+        comp = LowRankCompressor(param_slices(mlp), rank=2, seed=0)
+        u = flat_update(mlp, rng)
+        dense = comp.compress(u).to_dense()
+        for name, sl, shape in param_slices(mlp):
+            if len(shape) == 1:  # bias vectors travel dense
+                np.testing.assert_array_equal(dense[sl], u[sl])
+
+    def test_exact_for_rank_deficient_updates(self, mlp):
+        """A rank-1 weight update reconstructs exactly at rank >= 1."""
+        slices = param_slices(mlp)
+        u = np.zeros(num_parameters(mlp), dtype=np.float32)
+        name, sl, shape = next(s for s in slices if len(s[2]) == 2)
+        m, n = shape
+        rng = np.random.default_rng(0)
+        rank1 = np.outer(rng.normal(size=m), rng.normal(size=n))
+        u[sl] = rank1.reshape(-1)
+        out = LowRankCompressor(slices, rank=2, seed=0).compress(u)
+        np.testing.assert_allclose(out.to_dense()[sl], u[sl], atol=1e-4)
+
+    def test_error_decreases_with_rank(self, mlp, rng):
+        u = flat_update(mlp, rng)
+        errs = [
+            compression_error(u, LowRankCompressor(param_slices(mlp), rank=r, seed=0).compress(u))
+            for r in (1, 2, 4, 8)
+        ]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_bits_below_dense_for_small_rank(self, mlp, rng):
+        u = flat_update(mlp, rng)
+        out = LowRankCompressor(param_slices(mlp), rank=1, seed=0).compress(u)
+        assert out.bits < u.size * 32
+
+    def test_conv_layers_factorized(self, rng):
+        cnn = build_small_cnn(3, 8, 10, seed=0)
+        u = rng.normal(size=num_parameters(cnn)).astype(np.float32)
+        out = LowRankCompressor(param_slices(cnn), rank=2, seed=0).compress(u)
+        assert len(out.factors) >= 1  # conv kernels reshaped and factorized
+        assert out.to_dense().shape == u.shape
+
+    def test_wrong_slices_rejected(self, mlp, rng):
+        slices = param_slices(mlp)[:-1]  # drop one range
+        with pytest.raises(ValueError):
+            LowRankCompressor(slices, rank=1, seed=0).compress(flat_update(mlp, rng))
+
+    def test_bad_rank(self, mlp):
+        with pytest.raises(ValueError):
+            LowRankCompressor(param_slices(mlp), rank=0)
+
+    def test_update_bits_accounting(self):
+        factors = ((slice(0, 6), (2, 3), np.zeros((2, 1), np.float32), np.zeros((3, 1), np.float32)),)
+        dense = ((slice(6, 8), np.zeros(2, np.float32)),)
+        u = LowRankUpdate(dense_size=8, factors=factors, dense_ranges=dense)
+        assert u.bits == (2 + 3) * 32 + 2 * 32

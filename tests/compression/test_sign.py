@@ -1,0 +1,63 @@
+"""Tests for the 1-bit sign compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compression.ef import ErrorFeedback
+from repro.compression.registry import make_compressor
+from repro.compression.sign import SignCompressor, SignUpdate
+
+
+class TestSignUpdate:
+    def test_roundtrip(self):
+        s = SignUpdate(dense_size=3, signs=np.array([1, -1, 0], np.int8), scale=2.0)
+        np.testing.assert_allclose(s.to_dense(), [2.0, -2.0, 0.0])
+
+    def test_bits_is_one_per_coordinate(self):
+        s = SignUpdate(dense_size=100, signs=np.zeros(100, np.int8), scale=0.0)
+        assert s.bits == 100 + 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignUpdate(dense_size=2, signs=np.zeros(3, np.int8), scale=1.0)
+        with pytest.raises(ValueError):
+            SignUpdate(dense_size=2, signs=np.zeros(2, np.int8), scale=-1.0)
+
+
+class TestSignCompressor:
+    def test_preserves_signs(self, rng):
+        u = rng.normal(size=50).astype(np.float32)
+        out = SignCompressor().compress(u)
+        np.testing.assert_array_equal(np.sign(out.to_dense()), np.sign(u))
+
+    def test_scale_is_mean_abs(self, rng):
+        u = rng.normal(size=100).astype(np.float32)
+        out = SignCompressor().compress(u)
+        assert out.scale == pytest.approx(float(np.mean(np.abs(u))), rel=1e-6)
+
+    def test_l1_mass_preserved_for_dense_sign_vectors(self):
+        u = np.array([1.0, -2.0, 3.0, -4.0], dtype=np.float32)
+        out = SignCompressor().compress(u)
+        assert np.abs(out.to_dense()).sum() == pytest.approx(np.abs(u).sum())
+
+    def test_zero_vector(self):
+        out = SignCompressor().compress(np.zeros(10, dtype=np.float32))
+        np.testing.assert_array_equal(out.to_dense(), 0.0)
+
+    def test_registry_entries(self, rng):
+        u = rng.normal(size=32).astype(np.float32)
+        plain = make_compressor("sign")
+        ef = make_compressor("ef_sign")
+        assert isinstance(plain, SignCompressor)
+        assert isinstance(ef, ErrorFeedback)
+        assert ef.compress(u, 1.0).to_dense().shape == (32,)
+
+    def test_ef_sign_flushes_residual(self, rng):
+        """EF-signSGD: accumulated residual influences later transmissions."""
+        ef = make_compressor("ef_sign")
+        u = np.array([3.0, -0.1, 0.1, -0.1], dtype=np.float32)
+        total = np.zeros(4)
+        for _ in range(30):
+            total += ef.compress(np.zeros(4, dtype=np.float32) + u, 1.0).to_dense()
+        # Direction of accumulated transmission matches the true update.
+        assert np.sign(total[0]) == 1.0 and np.sign(total[1]) == -1.0

@@ -1,0 +1,95 @@
+"""Tests for quantity-skew partitioning and feature-skew federations."""
+
+import numpy as np
+import pytest
+
+from repro.data.federated import make_feature_skew_federation
+from repro.data.partition import iid_partition, quantity_skew_partition
+from repro.data.stats import mean_emd_to_global
+
+
+class TestQuantitySkew:
+    @pytest.fixture
+    def labels(self, rng):
+        return rng.integers(0, 10, size=4000)
+
+    def test_covers_all_samples(self, labels):
+        part = quantity_skew_partition(labels, 8, skew=0.5, seed=0)
+        assert part.sizes().sum() == len(labels)
+        allix = np.concatenate(part.client_indices)
+        assert len(np.unique(allix)) == len(labels)
+
+    def test_lower_skew_more_imbalanced(self, labels):
+        def cv(part):
+            s = part.sizes().astype(float)
+            return s.std() / s.mean()
+
+        heavy = quantity_skew_partition(labels, 8, skew=0.1, seed=0)
+        light = quantity_skew_partition(labels, 8, skew=10.0, seed=0)
+        assert cv(heavy) > cv(light)
+
+    def test_labels_stay_near_global(self, labels):
+        """Quantity skew must not secretly create label skew."""
+        part = quantity_skew_partition(labels, 8, skew=0.5, seed=0, min_size=50)
+        assert mean_emd_to_global(part) < 0.2
+
+    def test_min_size_respected(self, labels):
+        part = quantity_skew_partition(labels, 8, skew=0.1, seed=0, min_size=20)
+        assert part.sizes().min() >= 20
+
+    def test_validation(self, labels):
+        with pytest.raises(ValueError):
+            quantity_skew_partition(labels, 0, skew=1.0)
+        with pytest.raises(ValueError):
+            quantity_skew_partition(labels, 4, skew=0.0)
+        with pytest.raises(ValueError):
+            quantity_skew_partition(labels[:10], 4, skew=1.0, min_size=100)
+
+    def test_determinism(self, labels):
+        a = quantity_skew_partition(labels, 6, skew=0.5, seed=4)
+        b = quantity_skew_partition(labels, 6, skew=0.5, seed=4)
+        np.testing.assert_array_equal(a.sizes(), b.sizes())
+
+
+class TestFeatureSkewFederation:
+    def test_shapes(self):
+        fed = make_feature_skew_federation("synth-cifar10", 4, 100, 200, seed=0)
+        assert fed.num_clients == 4
+        np.testing.assert_array_equal(fed.sizes(), 100)
+        assert len(fed.test_set) == 200
+        assert fed.client_datasets[0].x.shape[1:] == (3, 8, 8)
+
+    def test_clients_differ_in_features_not_labels(self):
+        fed = make_feature_skew_federation(
+            "synth-cifar10", 3, 400, 100, skew_strength=1.0, seed=0
+        )
+        # Same label space everywhere.
+        for d in fed.client_datasets:
+            assert d.num_classes == 10
+        # Class-0 means differ across clients (feature shift)...
+        means = []
+        for d in fed.client_datasets:
+            sel = d.y == 0
+            if sel.sum() > 5:
+                means.append(d.x[sel].mean(axis=0).ravel())
+        assert len(means) >= 2
+        assert np.linalg.norm(means[0] - means[1]) > 0.1
+
+    def test_zero_skew_clients_identical_distribution(self):
+        fed = make_feature_skew_federation(
+            "synth-cifar10", 2, 2000, 100, skew_strength=0.0, seed=0
+        )
+        m0 = fed.client_datasets[0].x.mean()
+        m1 = fed.client_datasets[1].x.mean()
+        assert abs(m0 - m1) < 0.05
+
+    def test_determinism(self):
+        a = make_feature_skew_federation("synth-svhn", 2, 50, 50, seed=9)
+        b = make_feature_skew_federation("synth-svhn", 2, 50, 50, seed=9)
+        np.testing.assert_array_equal(a.client_datasets[0].x, b.client_datasets[0].x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_feature_skew_federation("synth-cifar10", 0, 10, 10)
+        with pytest.raises(ValueError):
+            make_feature_skew_federation("synth-cifar10", 2, 10, 10, skew_strength=-1)

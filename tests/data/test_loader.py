@@ -1,0 +1,50 @@
+"""Tests for BatchLoader."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import make_dataset
+from repro.data.loader import BatchLoader
+
+
+@pytest.fixture
+def ds():
+    return make_dataset("synth-cifar10", 37, seed=0)
+
+
+class TestBatchLoader:
+    def test_covers_all_samples(self, ds):
+        loader = BatchLoader(ds, 8, rng=0)
+        seen = sum(len(y) for _, y in loader)
+        assert seen == 37
+
+    def test_len_matches_iteration(self, ds):
+        loader = BatchLoader(ds, 8, rng=0)
+        assert len(list(loader)) == len(loader) == 5
+
+    def test_drop_last(self, ds):
+        loader = BatchLoader(ds, 8, rng=0, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert all(len(y) == 8 for _, y in batches)
+
+    def test_shuffle_changes_order_across_epochs(self, ds):
+        loader = BatchLoader(ds, 37, rng=0)
+        (x1, y1), = list(loader)
+        (x2, y2), = list(loader)
+        assert not np.array_equal(y1, y2)
+
+    def test_no_shuffle_is_sequential(self, ds):
+        loader = BatchLoader(ds, 10, rng=0, shuffle=False)
+        _, y = next(iter(loader))
+        np.testing.assert_array_equal(y, ds.y[:10])
+
+    def test_same_seed_same_order(self, ds):
+        l1 = BatchLoader(ds, 8, rng=42)
+        l2 = BatchLoader(ds, 8, rng=42)
+        for (_, y1), (_, y2) in zip(l1, l2):
+            np.testing.assert_array_equal(y1, y2)
+
+    def test_rejects_bad_batch_size(self, ds):
+        with pytest.raises(ValueError):
+            BatchLoader(ds, 0)

@@ -1,0 +1,57 @@
+"""Tests for derived evaluation metrics."""
+
+import pytest
+
+from repro.experiments.metrics import accuracy_auc, rounds_speedup, speedup_to_target
+from tests.fl.test_history import record
+from repro.fl.history import History
+
+
+def history_with(accs, actual=1.0):
+    h = History()
+    for i, a in enumerate(accs):
+        h.append(record(i, acc=a, actual=actual))
+    return h
+
+
+class TestAUC:
+    def test_constant_curve(self):
+        assert accuracy_auc(history_with([0.5, 0.5, 0.5])) == pytest.approx(0.5)
+
+    def test_linear_curve(self):
+        assert accuracy_auc(history_with([0.0, 0.5, 1.0])) == pytest.approx(0.5)
+
+    def test_fast_riser_beats_slow_riser(self):
+        fast = history_with([0.8, 0.9, 0.9])
+        slow = history_with([0.1, 0.2, 0.9])
+        assert accuracy_auc(fast) > accuracy_auc(slow)
+
+    def test_single_point(self):
+        assert accuracy_auc(history_with([0.3])) == pytest.approx(0.3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_auc(History())
+
+
+class TestSpeedups:
+    def test_time_speedup(self):
+        slow = history_with([0.1, 0.2, 0.5], actual=10.0)  # reaches 0.4 at round 2 → 30s
+        fast = history_with([0.5, 0.6], actual=5.0)  # reaches 0.4 at round 0 → 5s
+        assert speedup_to_target(slow, fast, 0.4) == pytest.approx(6.0)
+
+    def test_unreached_is_none(self):
+        a = history_with([0.1])
+        b = history_with([0.9])
+        assert speedup_to_target(a, b, 0.5) is None
+        assert speedup_to_target(b, a, 0.5) is None
+
+    def test_rounds_speedup(self):
+        slow = history_with([0.1, 0.2, 0.5, 0.6])
+        fast = history_with([0.1, 0.6])
+        assert rounds_speedup(slow, fast, 0.5) == pytest.approx(2.0)
+
+    def test_rounds_speedup_target_at_round_zero(self):
+        base = history_with([0.1, 0.6])
+        cand = history_with([0.7])
+        assert rounds_speedup(base, cand, 0.5) == float("inf")

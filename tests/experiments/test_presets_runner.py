@@ -1,0 +1,125 @@
+"""Tests for experiment presets, runners and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_reference import TABLE2, TABLE3, TABLE4
+from repro.experiments.presets import DATASET_NAME_MAP, bench_config, paper_config
+from repro.experiments.reporting import (
+    accuracy_row,
+    format_table,
+    paired_row,
+    series_text,
+    summarize_comparison,
+    time_to_accuracy_row,
+)
+from repro.experiments.runner import run_comparison, sweep
+from repro.fl.config import ExperimentConfig
+from repro.fl.simulation import Simulation
+
+SMALL = dict(rounds=4, num_train=400, num_test=150, eval_every=2)
+
+
+class TestPresets:
+    def test_paper_setting(self):
+        cfg = paper_config("cifar10", "bcrs", beta=0.1, compression_ratio=0.01)
+        assert cfg.dataset == "synth-cifar10"
+        assert cfg.num_clients == 10
+        assert cfg.participation == 0.5
+        assert cfg.batch_size == 64
+        assert cfg.local_epochs == 1
+        assert cfg.rounds == 200
+        assert cfg.compression_ratio == 0.01
+        assert cfg.alpha == 0.3
+
+    def test_fedavg_forces_dense(self):
+        cfg = paper_config("svhn", "fedavg", compression_ratio=0.01)
+        assert cfg.compression_ratio == 1.0
+
+    def test_dataset_name_mapping(self):
+        for paper_name, synth in DATASET_NAME_MAP.items():
+            assert paper_config(paper_name, "topk").dataset == synth
+        # Synthetic names pass through.
+        assert paper_config("synth-svhn", "topk").dataset == "synth-svhn"
+
+    def test_bench_config_is_smaller(self):
+        b = bench_config("cifar10", "topk")
+        p = paper_config("cifar10", "topk")
+        assert b.rounds < p.rounds
+        assert b.num_train <= p.num_train
+
+    def test_overrides_win(self):
+        cfg = bench_config("cifar10", "bcrs_opwa", gamma=3.0, rounds=5)
+        assert cfg.gamma == 3.0
+        assert cfg.rounds == 5
+
+
+class TestRunner:
+    def test_run_comparison_all_algorithms(self):
+        base = paper_config("cifar10", "fedavg", **SMALL)
+        results = run_comparison(base, ["fedavg", "topk"], compression_ratio=0.1)
+        assert set(results) == {"fedavg", "topk"}
+        for h in results.values():
+            assert len(h) == 4
+
+    def test_comparison_shares_seed(self):
+        """Same seed => same client selection sequence across algorithms."""
+        base = paper_config("cifar10", "fedavg", **SMALL)
+        results = run_comparison(base, ["fedavg", "topk"], compression_ratio=0.1)
+        sel_a = [r.selected for r in results["fedavg"].records]
+        sel_b = [r.selected for r in results["topk"].records]
+        assert sel_a == sel_b
+
+    def test_sweep(self):
+        base = paper_config("cifar10", "bcrs_opwa", compression_ratio=0.1, **SMALL)
+        out = sweep(base, "gamma", [3.0, 5.0])
+        assert set(out) == {3.0, 5.0}
+
+
+class TestReporting:
+    @pytest.fixture
+    def history(self):
+        return Simulation(paper_config("cifar10", "topk", compression_ratio=0.1, **SMALL)).run()
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_accuracy_row(self, history):
+        row = accuracy_row("topk", history, 0.4669)
+        assert row[0] == "topk"
+        assert row[2] == "0.4669"
+
+    def test_time_row_handles_unreached(self, history):
+        row = time_to_accuracy_row("topk", history, target=1.01)
+        assert row[1] == "--"
+
+    def test_paired_row_none(self):
+        assert paired_row("x", None, 0.5) == ["x", "--", "0.5000"]
+
+    def test_series_text(self, history):
+        text = series_text(history, every=2)
+        assert "round" in text and "acc" in text
+
+    def test_summarize_comparison(self, history):
+        text = summarize_comparison({"topk": history})
+        assert "topk" in text and "final_acc" in text
+
+
+class TestPaperReference:
+    def test_table2_complete(self):
+        for ds, cells in TABLE2.items():
+            assert set(cells) == {(0.1, 0.1), (0.1, 0.01), (0.5, 0.1), (0.5, 0.01)}
+            for algs in cells.values():
+                assert set(algs) == {"fedavg", "topk", "eftopk", "bcrs", "bcrs_opwa"}
+                assert all(0 < v < 1 for v in algs.values())
+
+    def test_table3_fedavg_actual_equals_max(self):
+        actual, mx, mn = TABLE3["fedavg"][0.1]
+        assert actual == mx
+        assert mn < actual
+
+    def test_table4_gamma7_beats_gamma3_at_high_compression(self):
+        assert TABLE4[(0.1, 0.01)][7] > TABLE4[(0.1, 0.01)][3]

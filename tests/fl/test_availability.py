@@ -1,0 +1,85 @@
+"""Tests for availability models and the availability-aware sampler."""
+
+import numpy as np
+import pytest
+
+from repro.fl.availability import (
+    AvailabilityAwareSampler,
+    BernoulliAvailability,
+    MarkovAvailability,
+)
+
+
+class TestBernoulli:
+    def test_rate_matches_p(self):
+        av = BernoulliAvailability(200, 0.3, seed=0)
+        rate = np.mean([av.step().mean() for _ in range(200)])
+        assert rate == pytest.approx(0.3, abs=0.02)
+
+    def test_p_one_always_available(self):
+        av = BernoulliAvailability(10, 1.0, seed=0)
+        assert av.step().all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliAvailability(0, 0.5)
+        with pytest.raises(ValueError):
+            BernoulliAvailability(5, 1.5)
+
+
+class TestMarkov:
+    def test_starts_online(self):
+        av = MarkovAvailability(5, seed=0)
+        assert av.state.all()
+
+    def test_stationary_rate(self):
+        """Long-run online fraction approaches p_off→on / (p_on→off + p_off→on)."""
+        p_on, p_off = 0.9, 0.7
+        av = MarkovAvailability(500, p_stay_on=p_on, p_stay_off=p_off, seed=0)
+        for _ in range(50):  # burn-in
+            av.step()
+        rate = np.mean([av.step().mean() for _ in range(200)])
+        expected = (1 - p_off) / ((1 - p_on) + (1 - p_off))
+        assert rate == pytest.approx(expected, abs=0.04)
+
+    def test_burstiness(self):
+        """High self-transition ⇒ long on/off runs: consecutive-round
+        agreement beats the memoryless rate."""
+        av = MarkovAvailability(300, p_stay_on=0.95, p_stay_off=0.95, seed=1)
+        prev = av.step()
+        agree = []
+        for _ in range(100):
+            cur = av.step()
+            agree.append((cur == prev).mean())
+            prev = cur
+        assert np.mean(agree) > 0.85
+
+
+class TestSampler:
+    def test_samples_only_available(self):
+        av = BernoulliAvailability(20, 0.5, seed=3)
+        sampler = AvailabilityAwareSampler(av, 5, seed=0)
+        # Track availability by stepping a twin process in lockstep.
+        twin = BernoulliAvailability(20, 0.5, seed=3)
+        for _ in range(20):
+            chosen = sampler.sample()
+            mask = twin.step()
+            assert np.all(mask[chosen])
+
+    def test_short_rounds_when_few_available(self):
+        av = BernoulliAvailability(10, 0.15, seed=0)
+        sampler = AvailabilityAwareSampler(av, 8, seed=0)
+        sizes = [len(sampler.sample()) for _ in range(50)]
+        assert min(sizes) >= 1
+        assert max(sizes) <= 8
+        assert np.mean(sizes) < 8  # churn really bites
+
+    def test_waits_for_availability(self):
+        av = BernoulliAvailability(4, 0.02, seed=0)
+        sampler = AvailabilityAwareSampler(av, 2, seed=0)
+        assert len(sampler.sample()) >= 1  # waits instead of failing
+
+    def test_validation(self):
+        av = BernoulliAvailability(4, 0.5)
+        with pytest.raises(ValueError):
+            AvailabilityAwareSampler(av, 0)

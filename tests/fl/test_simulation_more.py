@@ -1,0 +1,72 @@
+"""Additional engine coverage: volume override, evaluation batching,
+realized-vs-scheduled ratios, straggler accounting across algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.simulation import Simulation
+
+FAST = dict(num_train=400, num_test=130, rounds=3, num_clients=4, participation=0.5,
+            lr=0.1, model="mlp", eval_every=3)
+
+
+class TestVolumeOverride:
+    def test_override_changes_times_not_training(self):
+        a = Simulation(ExperimentConfig(**FAST, algorithm="topk", compression_ratio=0.1))
+        b = Simulation(
+            ExperimentConfig(
+                **FAST, algorithm="topk", compression_ratio=0.1, volume_override_bits=1e9
+            )
+        )
+        ra = a.run_round()
+        rb = b.run_round()
+        assert rb.times.actual > ra.times.actual * 10
+        assert ra.test_accuracy == rb.test_accuracy  # learning unaffected
+
+    def test_invalid_override(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(volume_override_bits=0)
+
+
+class TestEvaluation:
+    def test_batched_eval_matches_single_batch(self):
+        sim = Simulation(ExperimentConfig(**FAST))
+        sim.run_round()
+        assert sim.evaluate(batch_size=7) == pytest.approx(sim.evaluate(batch_size=1000))
+
+    def test_final_round_always_evaluated(self):
+        cfg = ExperimentConfig(**{**FAST, "rounds": 5, "eval_every": 100})
+        sim = Simulation(cfg)
+        h = sim.run()
+        evaluated = [r.round_index for r in h.records if r.test_accuracy is not None]
+        assert evaluated == [0, 4]
+
+
+class TestRealizedRatios:
+    def test_bcrs_record_matches_schedule_magnitude(self):
+        cfg = ExperimentConfig(**FAST, algorithm="bcrs", compression_ratio=0.02)
+        sim = Simulation(cfg)
+        rec = sim.run_round()
+        # Realized densities come from actual TopK nnz, so they track the
+        # scheduled ratios up to rounding.
+        assert min(rec.ratios) >= 0.01
+        assert max(rec.ratios) <= 1.0
+
+    def test_weights_recorded(self):
+        cfg = ExperimentConfig(**FAST, algorithm="bcrs", compression_ratio=0.05, alpha=0.3)
+        sim = Simulation(cfg)
+        rec = sim.run_round()
+        assert all(0 < w <= 0.3 + 1e-9 for w in rec.weights)
+
+
+class TestStragglerAccounting:
+    def test_max_metric_identical_across_compressed_algorithms(self):
+        """Max Time prices the same dense straggler regardless of algorithm,
+        so FedAvg/TopK/BCRS accumulate identical max totals per round set."""
+        results = {}
+        for alg in ("topk", "bcrs"):
+            cfg = ExperimentConfig(**FAST, algorithm=alg, compression_ratio=0.1)
+            h = Simulation(cfg).run()
+            results[alg] = h.time.max_total
+        assert results["topk"] == pytest.approx(results["bcrs"])

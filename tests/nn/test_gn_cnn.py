@@ -1,0 +1,41 @@
+"""Tests for the GroupNorm CNN (BatchNorm-free FL model)."""
+
+import numpy as np
+import pytest
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.simulation import run_experiment
+from repro.nn.models import build_gn_cnn, build_model, build_small_cnn
+
+
+class TestGnCnn:
+    def test_output_shape(self, rng):
+        model = build_gn_cnn(3, 10, seed=0)
+        out = model(rng.normal(size=(2, 3, 8, 8)).astype(np.float32), training=False)
+        assert out.shape == (2, 10)
+
+    def test_no_persistent_buffers(self):
+        """The point of GroupNorm in FL: nothing to average beside weights."""
+        assert build_gn_cnn(3, 10, seed=0).state_arrays() == []
+        assert len(build_small_cnn(3, 8, 10, seed=0).state_arrays()) > 0
+
+    def test_registry_dispatch(self):
+        model = build_model("gn_cnn", in_channels=3, image_size=8, num_classes=5, seed=0)
+        assert model(np.zeros((1, 3, 8, 8), np.float32), training=False).shape == (1, 5)
+
+    def test_batch_independence(self, rng):
+        """Same sample, different batch companions, identical output —
+        the property BatchNorm lacks."""
+        model = build_gn_cnn(3, 10, seed=0)
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        full = model(x, training=False)
+        alone = model(x[:1], training=False)
+        np.testing.assert_allclose(full[0], alone[0], atol=1e-5)
+
+    def test_end_to_end_federated(self):
+        cfg = ExperimentConfig(
+            dataset="synth-cifar10", model="gn_cnn", num_train=300, num_test=100,
+            rounds=3, num_clients=4, participation=0.5, lr=0.05, eval_every=3,
+        )
+        h = run_experiment(cfg)
+        assert 0.0 <= h.final_accuracy() <= 1.0

@@ -1,0 +1,135 @@
+"""Tests for losses, optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Parameter
+from repro.nn.losses import accuracy, cross_entropy, mse_loss
+from repro.nn.optim import SGD, ConstantLR, CosineLR, StepLR
+from tests.conftest import numeric_grad
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_k(self):
+        logits = np.zeros((4, 10), dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(3, 5)).astype(np.float64)
+        labels = np.array([0, 4, 2])
+        _, grad = cross_entropy(logits, labels)
+        num = numeric_grad(lambda: cross_entropy(logits, labels)[0], logits, eps=1e-5)
+        np.testing.assert_allclose(grad, num, atol=1e-5)
+
+    def test_gradient_rows_sum_zero(self, rng):
+        logits = rng.normal(size=(6, 4)).astype(np.float32)
+        _, grad = cross_entropy(logits, rng.integers(0, 4, size=6))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_confident_correct_low_loss(self):
+        logits = np.array([[10.0, -10.0]], dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([0]))
+        assert loss < 1e-4
+
+
+class TestMSE:
+    def test_zero_at_target(self):
+        x = np.ones((2, 3))
+        loss, grad = mse_loss(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_gradient_matches_numeric(self, rng):
+        pred = rng.normal(size=(3, 2)).astype(np.float64)
+        target = rng.normal(size=(3, 2))
+        _, grad = mse_loss(pred, target)
+        num = numeric_grad(lambda: mse_loss(pred, target)[0], pred, eps=1e-6)
+        np.testing.assert_allclose(grad, num, atol=1e-5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.eye(3)
+        assert accuracy(logits, np.array([0, 1, 2])) == 1.0
+
+    def test_partial(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter("w", np.array([1.0, 2.0], dtype=np.float32))
+        p.grad[...] = [0.5, 0.5]
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.95], rtol=1e-6)
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter("a", np.zeros(1, dtype=np.float32))
+        p2 = Parameter("b", np.zeros(1, dtype=np.float32))
+        opt1, opt2 = SGD([p1], lr=0.1), SGD([p2], lr=0.1, momentum=0.9)
+        for _ in range(5):
+            p1.grad[...] = 1.0
+            p2.grad[...] = 1.0
+            opt1.step()
+            opt2.step()
+        assert p2.data[0] < p1.data[0]  # momentum moves farther downhill
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter("w", np.array([10.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        opt.step()  # zero gradient: only decay acts
+        assert p.data[0] < 10.0
+
+    def test_zero_grad(self, rng):
+        layer = Linear(2, 2, rng)
+        layer.weight.grad[...] = 1.0
+        opt = SGD(layer.parameters(), lr=0.1)
+        opt.zero_grad()
+        np.testing.assert_array_equal(layer.weight.grad, 0.0)
+
+    @pytest.mark.parametrize("kwargs", [dict(lr=0), dict(lr=0.1, momentum=1.0), dict(lr=0.1, weight_decay=-1)])
+    def test_rejects_bad_hparams(self, kwargs):
+        with pytest.raises(ValueError):
+            SGD([], **kwargs)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter("w", np.array([5.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            p.zero_grad()
+            p.grad[...] = 2 * p.data  # d/dw w^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(0.1)(0) == ConstantLR(0.1)(1000) == 0.1
+
+    def test_step_decay(self):
+        sched = StepLR(1.0, step_size=10, gamma=0.1)
+        assert sched(0) == 1.0
+        assert sched(10) == pytest.approx(0.1)
+        assert sched(25) == pytest.approx(0.01)
+
+    def test_cosine_endpoints(self):
+        sched = CosineLR(1.0, total_steps=100, min_lr=0.0)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(100) == pytest.approx(0.0, abs=1e-9)
+        assert sched(50) == pytest.approx(0.5, abs=1e-9)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            StepLR(1.0, 0)
+        with pytest.raises(ValueError):
+            CosineLR(1.0, 0)

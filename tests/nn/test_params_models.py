@@ -1,0 +1,133 @@
+"""Tests for flat-parameter packing and the model zoo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.losses import cross_entropy
+from repro.nn.models import build_mini_resnet, build_mlp, build_model, build_small_cnn
+from repro.nn.optim import SGD
+from repro.nn.params import (
+    clone_state,
+    get_flat_grads,
+    get_flat_params,
+    num_parameters,
+    param_slices,
+    restore_state,
+    set_flat_params,
+)
+
+
+class TestFlatParams:
+    def test_roundtrip(self, rng):
+        model = build_mlp(10, 3, hidden=(7,), seed=0)
+        flat = get_flat_params(model)
+        assert flat.shape == (num_parameters(model),)
+        flat2 = rng.normal(size=flat.shape).astype(np.float32)
+        set_flat_params(model, flat2)
+        np.testing.assert_array_equal(get_flat_params(model), flat2)
+
+    def test_slices_cover_vector(self):
+        model = build_mlp(6, 2, hidden=(4,), seed=0)
+        slices = param_slices(model)
+        total = num_parameters(model)
+        covered = np.zeros(total, dtype=bool)
+        for _, sl, shape in slices:
+            assert not covered[sl].any(), "overlapping slices"
+            covered[sl] = True
+            assert int(np.prod(shape)) == sl.stop - sl.start
+        assert covered.all()
+
+    def test_set_rejects_wrong_size(self):
+        model = build_mlp(4, 2, hidden=(3,), seed=0)
+        with pytest.raises(ValueError):
+            set_flat_params(model, np.zeros(3, dtype=np.float32))
+
+    def test_grads_flatten(self, rng):
+        model = build_mlp(4, 2, hidden=(3,), seed=0)
+        x = rng.normal(size=(5, 4)).astype(np.float32)
+        logits = model(x)
+        _, g = cross_entropy(logits, rng.integers(0, 2, size=5))
+        model.backward(g)
+        flat_g = get_flat_grads(model)
+        assert flat_g.shape == (num_parameters(model),)
+        assert np.any(flat_g != 0)
+
+    def test_clone_restore_state(self, rng):
+        model = build_small_cnn(3, 8, 4, seed=0)
+        snap = clone_state(model)
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        logits = model(x, training=True)  # mutates BN running stats
+        _, g = cross_entropy(logits, rng.integers(0, 4, size=4))
+        model.backward(g)
+        SGD(model.parameters(), lr=0.5).step()
+        restore_state(model, snap)
+        np.testing.assert_array_equal(get_flat_params(model), snap[0])
+        for live, saved in zip(model.state_arrays(), snap[1]):
+            np.testing.assert_array_equal(live, saved)
+
+
+class TestModelZoo:
+    def test_mlp_output_shape(self, rng):
+        model = build_mlp(12, 5, seed=0)
+        out = model(rng.normal(size=(3, 12)).astype(np.float32), training=False)
+        assert out.shape == (3, 5)
+
+    def test_small_cnn_output_shape(self, rng):
+        model = build_small_cnn(3, 8, 10, seed=0)
+        out = model(rng.normal(size=(2, 3, 8, 8)).astype(np.float32), training=False)
+        assert out.shape == (2, 10)
+
+    def test_mini_resnet_output_shape(self, rng):
+        model = build_mini_resnet(3, 10, width=8, blocks_per_stage=(1, 1), seed=0)
+        out = model(rng.normal(size=(2, 3, 8, 8)).astype(np.float32), training=False)
+        assert out.shape == (2, 10)
+
+    def test_same_seed_same_init(self):
+        a = get_flat_params(build_mlp(6, 2, seed=42))
+        b = get_flat_params(build_mlp(6, 2, seed=42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_init(self):
+        a = get_flat_params(build_mlp(6, 2, seed=1))
+        b = get_flat_params(build_mlp(6, 2, seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_registry_dispatch(self):
+        m = build_model("mlp", in_channels=3, image_size=4, num_classes=2, seed=0)
+        assert num_parameters(m) > 0
+        with pytest.raises(KeyError):
+            build_model("nope", in_channels=1, image_size=4, num_classes=2)
+
+    @given(st.sampled_from(["mlp", "small_cnn", "mini_resnet"]))
+    @settings(max_examples=6, deadline=None)
+    def test_all_models_trainable_one_step(self, name):
+        rng = np.random.default_rng(0)
+        model = build_model(name, in_channels=3, image_size=8, num_classes=4, seed=0)
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        if name == "mlp":
+            x = x.reshape(4, -1)
+        labels = rng.integers(0, 4, size=4)
+        before = get_flat_params(model).copy()
+        opt = SGD(model.parameters(), lr=0.01)
+        logits = model(x, training=True)
+        loss0, g = cross_entropy(logits, labels)
+        model.backward(g)
+        opt.step()
+        assert not np.array_equal(get_flat_params(model), before)
+
+    def test_training_reduces_loss(self, rng):
+        """A few SGD steps on a fixed batch should reduce cross-entropy."""
+        model = build_mlp(8, 3, hidden=(16,), seed=0)
+        x = rng.normal(size=(32, 8)).astype(np.float32)
+        labels = rng.integers(0, 3, size=32)
+        opt = SGD(model.parameters(), lr=0.5)
+        losses = []
+        for _ in range(30):
+            opt.zero_grad()
+            loss, g = cross_entropy(model(x), labels)
+            model.backward(g)
+            opt.step()
+            losses.append(loss)
+        assert losses[-1] < losses[0] * 0.5

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_ARGS = ["--rounds", "3", "--dataset", "cifar10", "--beta", "0.5", "--cr", "0.2"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "bcrs_opwa"
+        assert args.dataset == "cifar10"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "sgd"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "bcrs_opwa" in out
+        assert "topk" in out
+
+    def test_run_prints_curve(self, capsys):
+        assert main(["run", "--algorithm", "topk", *FAST_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        assert "round" in out
+
+    def test_run_saves_artifacts(self, tmp_path, capsys):
+        hist = tmp_path / "h.json"
+        csv_path = tmp_path / "c.csv"
+        rc = main([
+            "run", "--algorithm", "topk", *FAST_ARGS,
+            "--save-history", str(hist), "--export-csv", str(csv_path),
+        ])
+        assert rc == 0
+        assert json.loads(hist.read_text())["records"]
+        assert csv_path.read_text().startswith("round,")
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--algorithms", "fedavg,topk", *FAST_ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out and "topk" in out
+
+    def test_compare_rejects_unknown(self, capsys):
+        rc = main(["compare", "--algorithms", "fedavg,nope", *FAST_ARGS])
+        assert rc == 2
+
+    def test_sweep(self, capsys):
+        rc = main([
+            "sweep", "--algorithm", "bcrs_opwa", "--param", "gamma",
+            "--values", "3,5", *FAST_ARGS,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gamma=3.0" in out and "gamma=5.0" in out

@@ -1,0 +1,100 @@
+"""Tests for RNG streams and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.validation import check_fraction, check_positive, check_probability_vector
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        g = as_generator(42)
+        assert isinstance(g, np.random.Generator)
+
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_same_seed_same_stream(self):
+        assert as_generator(7).random() == as_generator(7).random()
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_independence(self):
+        a, b = spawn_generators(0, 2)
+        assert a.random() != b.random()
+
+    def test_reproducible(self):
+        x = [g.random() for g in spawn_generators(3, 4)]
+        y = [g.random() for g in spawn_generators(3, 4)]
+        assert x == y
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestRngFactory:
+    def test_named_streams_stable(self):
+        f1, f2 = RngFactory(9), RngFactory(9)
+        assert f1.stream("sampler").random() == f2.stream("sampler").random()
+
+    def test_names_independent(self):
+        f = RngFactory(9)
+        assert f.stream("a").random() != f.stream("b").random()
+
+    def test_order_independent(self):
+        f1, f2 = RngFactory(1), RngFactory(1)
+        a1 = f1.stream("x").random()
+        f2.stream("y")  # request another stream first
+        a2 = f2.stream("x").random()
+        assert a1 == a2
+
+    def test_children_indexed(self):
+        f = RngFactory(2)
+        assert f.child("client", 0).random() != f.child("client", 1).random()
+        assert f.child("client", 3).random() == RngFactory(2).child("client", 3).random()
+
+    def test_child_negative_index(self):
+        with pytest.raises(ValueError):
+            RngFactory(0).child("x", -1)
+
+    def test_seed_property(self):
+        assert RngFactory(11).seed == 11
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 1.0) == 1.0
+        assert check_fraction("x", 0.0, allow_zero=True) == 0.0
+        with pytest.raises(ValueError):
+            check_fraction("x", 0.0)
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.1)
+        with pytest.raises(ValueError):
+            check_fraction("x", float("inf"))
+
+    def test_check_probability_vector(self):
+        p = check_probability_vector("p", np.array([0.25, 0.75]))
+        assert p.dtype == np.float64
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([[0.5], [0.5]]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([1.5, -0.5]))

@@ -1,0 +1,63 @@
+"""Tests for ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import ascii_bars, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_markers_and_legend(self):
+        x = np.arange(10)
+        out = ascii_plot({"one": (x, x), "two": (x, x[::-1])})
+        assert "a = one" in out
+        assert "b = two" in out
+        assert "a" in out.splitlines()[0] + out.splitlines()[1]
+
+    def test_monotone_series_occupies_diagonal(self):
+        x = np.arange(20)
+        out = ascii_plot({"lin": (x, x)}, width=20, height=10)
+        rows = [l for l in out.splitlines() if "a" in l]
+        # first 'a' row (top) has marker far right; last has it far left
+        first = rows[0].rindex("a")
+        last = rows[-1].rindex("a")
+        assert first > last
+
+    def test_constant_series_no_crash(self):
+        x = np.arange(5)
+        out = ascii_plot({"flat": (x, np.ones(5))})
+        assert "flat" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"x": (np.arange(3), np.arange(4))})
+        with pytest.raises(ValueError):
+            ascii_plot({"x": (np.arange(3), np.arange(3))}, width=5)
+
+    def test_axis_labels_shown(self):
+        out = ascii_plot({"s": (np.arange(3), np.arange(3))}, x_label="round", y_label="acc")
+        assert "acc vs round" in out
+
+
+class TestAsciiBars:
+    def test_longest_bar_is_peak(self):
+        out = ascii_bars({"small": 1.0, "big": 10.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 1
+
+    def test_unit_suffix(self):
+        out = ascii_bars({"t": 2.0}, unit="s")
+        assert "2s" in out
+
+    def test_zero_values_ok(self):
+        out = ascii_bars({"z": 0.0, "one": 1.0})
+        assert "z" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+        with pytest.raises(ValueError):
+            ascii_bars({"neg": -1.0})
