@@ -7,6 +7,7 @@ printed as they land and written to ``paper_suite_results.json``.
 
 Usage:
     python scripts/run_paper_suite.py [--rounds N] [--out PATH]
+                                      [--backend serial|thread|process] [--workers N]
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import time
 
 from repro.experiments import paper_config
 from repro.experiments.paper_reference import TABLE2
+from repro.fl.config import BACKENDS
 from repro.fl.simulation import Simulation
 
 ALGS = ["fedavg", "topk", "eftopk", "bcrs", "bcrs_opwa"]
@@ -28,6 +30,9 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--rounds", type=int, default=200)
     parser.add_argument("--out", default="paper_suite_results.json")
+    parser.add_argument("--backend", default="serial", choices=BACKENDS,
+                        help="execution backend (results are backend-invariant)")
+    parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args()
 
     results: dict[str, dict] = {}
@@ -36,10 +41,12 @@ def main() -> None:
         for beta, cr in SETTINGS:
             for alg in ALGS:
                 cfg = paper_config(
-                    dataset, alg, beta=beta, compression_ratio=cr, rounds=args.rounds
+                    dataset, alg, beta=beta, compression_ratio=cr, rounds=args.rounds,
+                    backend=args.backend, workers=args.workers,
                 )
                 t0 = time.perf_counter()
-                h = Simulation(cfg).run()
+                with Simulation(cfg) as sim:
+                    h = sim.run()
                 key = f"{dataset}/beta={beta}/cr={cr}/{alg}"
                 paper = TABLE2[dataset][(beta, cr)][alg]
                 results[key] = {

@@ -21,7 +21,7 @@ from repro.compression.registry import available_compressors
 from repro.experiments.presets import bench_config, paper_config
 from repro.experiments.reporting import series_text, summarize_comparison
 from repro.experiments.runner import run_comparison, sweep as run_sweep
-from repro.fl.config import ALGORITHMS
+from repro.fl.config import ALGORITHMS, BACKENDS
 from repro.fl.simulation import Simulation
 from repro.io.history_io import export_curves_csv, save_history
 
@@ -35,13 +35,21 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--rounds", type=int, default=None, help="communication rounds")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--paper-scale", action="store_true", help="use the full Sec. 5.1 budget")
+    p.add_argument(
+        "--backend", default="serial", choices=BACKENDS,
+        help="execution backend for the round's client work",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker count for thread/process backends (default: auto)",
+    )
     p.add_argument("--save-history", metavar="PATH", default=None)
     p.add_argument("--export-csv", metavar="PATH", default=None)
 
 
 def _config(args: argparse.Namespace, algorithm: str):
     maker = paper_config if args.paper_scale else bench_config
-    overrides = {"seed": args.seed}
+    overrides = {"seed": args.seed, "backend": args.backend, "workers": args.workers}
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
     return maker(
@@ -88,7 +96,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         cfg = _config(args, args.algorithm)
-        history = Simulation(cfg).run()
+        with Simulation(cfg) as sim:
+            history = sim.run()
         print(series_text(history, every=max(1, cfg.rounds // 10)))
         print(f"\nfinal accuracy {history.final_accuracy():.4f}  "
               f"comm time {history.time.actual_total:.1f}s")

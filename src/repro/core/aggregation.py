@@ -9,7 +9,9 @@ and produce the next global model:
 
 where ``η_s`` is the server step (1.0 recovers exact FedAvg for dense
 updates), ``p'_i`` comes from Eq. 6 and ``M`` from Algorithm 3. Aggregation
-is a scatter-add per sparse update into one accumulation buffer — no dense
+concatenates every sparse update's (index, value) buffers and reduces them
+with a single weighted ``bincount`` — one C-level pass over all retained
+entries instead of a Python-loop scatter per client, and no dense
 per-client temporaries (HPC guide: in-place accumulation, no copies).
 """
 
@@ -31,8 +33,11 @@ def weighted_sparse_sum(
 ) -> np.ndarray:
     """Compute ``Σ_i weights[i] · (mask ⊙ dense(updates[i]))``.
 
-    Sparse updates accumulate via fancy-indexed in-place adds; dense updates
-    fall back to vectorized AXPY. ``mask`` (the OPWA ``M``) applies at the
+    Sparse updates are reduced in one pass: their index/value buffers are
+    pre-concatenated (with the weight folded into each value block) and
+    summed by a single ``np.bincount`` over the concatenated indices —
+    scatter-add without any per-client Python-loop work. Dense updates fall
+    back to vectorized AXPY. ``mask`` (the OPWA ``M``) applies at the
     parameter level.
     """
     if not updates:
@@ -54,14 +59,17 @@ def weighted_sparse_sum(
     else:
         out[...] = 0.0
 
+    sparse = [(w, u) for w, u in zip(weights, updates) if isinstance(u, SparseUpdate)]
+    if sparse:
+        all_indices = np.concatenate([u.indices for _, u in sparse])
+        all_values = np.concatenate([w * u.values.astype(np.float64) for w, u in sparse])
+        if mask is not None:
+            all_values *= mask[all_indices]
+        if all_indices.size:
+            out += np.bincount(all_indices, weights=all_values, minlength=d)
+
     for w, u in zip(weights, updates):
-        if isinstance(u, SparseUpdate):
-            contrib = w * u.values.astype(np.float64)
-            if mask is not None:
-                contrib *= mask[u.indices]
-            # Indices are unique per update, so += scatter is race-free.
-            out[u.indices] += contrib
-        else:
+        if not isinstance(u, SparseUpdate):
             dense = u.to_dense().astype(np.float64)
             if mask is not None:
                 dense *= mask

@@ -18,15 +18,32 @@ import numpy as np
 
 from repro.utils.validation import check_positive
 
-__all__ = ["normalize_ratios", "adjusted_coefficients", "fedavg_coefficients"]
+__all__ = ["NORM_MODES", "normalize_ratios", "adjusted_coefficients", "fedavg_coefficients"]
+
+
+#: Valid ``Norm()`` variants for Eq. 6 (the ``norm_mode`` ablation axis).
+NORM_MODES = ("sum", "max", "none")
 
 
 def normalize_ratios(ratios: np.ndarray, mode: str = "sum") -> np.ndarray:
-    """Normalize scheduled ratios for Eq. 6.
+    """Normalize scheduled ratios — the ``Norm()`` of Eq. 6.
 
-    ``"sum"``: shares summing to 1 (default, comparable to ``f_i``).
-    ``"max"``: scale so the largest ratio is 1.
-    ``"none"``: use raw ratios (ablation).
+    The three modes are the ablation axis behind ``ExperimentConfig.norm_mode``
+    (compared in the norm-choice ablation bench):
+
+    ========  =============================  =====================================
+    mode      definition                     effect in Eq. 6
+    ========  =============================  =====================================
+    "sum"     ``CR_i / Σ_j CR_j``            ratios become shares summing to 1,
+                                             directly comparable to the data
+                                             frequencies ``f_i`` (paper default)
+    "max"     ``CR_i / max_j CR_j``          the best-connected client keeps 1;
+                                             others are scaled relative to it, so
+                                             fewer clients get damped
+    "none"    ``CR_i`` unchanged             raw scheduled ratios; with small CR*
+                                             almost no client exceeds ``f_i`` and
+                                             Eq. 6 degrades toward ``α·1``
+    ========  =============================  =====================================
     """
     ratios = np.asarray(ratios, dtype=np.float64)
     if ratios.ndim != 1 or ratios.size == 0:
@@ -39,7 +56,9 @@ def normalize_ratios(ratios: np.ndarray, mode: str = "sum") -> np.ndarray:
         return ratios / ratios.max()
     if mode == "none":
         return ratios.copy()
-    raise ValueError(f"unknown normalization mode {mode!r}")
+    raise ValueError(
+        f"unknown normalization mode {mode!r}; expected one of {NORM_MODES}"
+    )
 
 
 def fedavg_coefficients(data_frequencies: np.ndarray) -> np.ndarray:

@@ -1,0 +1,222 @@
+"""Execution-backend interfaces: how a round's client work is described.
+
+A round of Algorithm 1 fans out into independent *client tasks* — "train
+client ``i`` from the current global model and compress its update at ratio
+``CR_i``" — whose only shared inputs (global parameters, persistent buffers)
+are read-only for the duration of the round. That independence is what makes
+the round parallelizable: every backend consumes the same
+:class:`ClientTask` list and returns the same :class:`TaskResult` list, so
+the round loop in :mod:`repro.fl.simulation` is backend-agnostic.
+
+Determinism contract: a client's stochasticity lives entirely in per-client
+state — its :class:`~repro.data.loader.BatchLoader` RNG stream and its
+(possibly stateful, e.g. error-feedback) compressor. Backends must route
+every task for client ``i`` through the single object pair owning that
+state, in selection order, so a seeded run produces bit-identical results on
+every backend.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import CompressedUpdate, Compressor, DenseUpdate
+
+__all__ = [
+    "ClientTask",
+    "TaskResult",
+    "TrainSpec",
+    "WorkerContext",
+    "ExecutionBackend",
+    "resolve_workers",
+]
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """Round-invariant local-training hyperparameters (Alg. 1 lines 21–27)."""
+
+    lr: float
+    epochs: int
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    proximal_mu: float = 0.0
+    optimizer: str = "sgd"
+    #: Ship the raw dense delta back alongside the compressed update
+    #: (needed by the decentralized engine's mixing step).
+    return_delta: bool = False
+
+    @classmethod
+    def from_config(cls, config, *, return_delta: bool = False) -> "TrainSpec":
+        """Extract the local-optimizer knobs from an ``ExperimentConfig``."""
+        return cls(
+            lr=config.lr,
+            epochs=config.local_epochs,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            proximal_mu=config.proximal_mu,
+            optimizer=config.local_optimizer,
+            return_delta=return_delta,
+        )
+
+
+@dataclass(frozen=True)
+class ClientTask:
+    """One unit of round work: train one client, compress its update.
+
+    ``ratio`` is the scheduled compression ratio ``CR_i`` (``None`` = dense
+    upload). Engines where every client starts from its own model
+    (decentralized D-PSGD) pass the stacked per-client parameter matrix as
+    the round's ``global_params`` and set ``params_row`` to this client's
+    row — the matrix then travels once through the process backend's
+    shared-memory broadcast instead of once per task over a pipe.
+    ``params`` embeds an explicit start vector in the task itself (heavier;
+    kept for ad-hoc tasks). Precedence: ``params`` > ``params_row`` >
+    the round's global parameters.
+    """
+
+    position: int  # index into the round's selected list (result ordering)
+    cid: int  # client id — keys per-client loader/compressor state
+    ratio: float | None
+    params: np.ndarray | None = None
+    params_row: int | None = None
+
+
+@dataclass
+class TaskResult:
+    """Everything the server needs back from one client task."""
+
+    position: int
+    cid: int
+    update: CompressedUpdate
+    state_arrays: list[np.ndarray]  # post-training persistent buffers
+    mean_loss: float
+    num_batches: int
+    train_seconds: float  # per-task wall clock (summed into Fig. 6)
+    compress_seconds: float
+    delta: np.ndarray | None = None  # raw dense delta iff spec.return_delta
+
+
+class WorkerContext:
+    """The per-worker execution state: clients, compressors, one model.
+
+    Exactly one context must own a given client's (loader, compressor) state
+    at a time — the backends arrange that. The model is a scratch instance:
+    :meth:`execute` loads the task's parameters and buffers into it before
+    training, so any architecturally-identical replica yields identical
+    results.
+    """
+
+    def __init__(
+        self,
+        clients: Sequence,
+        compressors: Sequence[Compressor] | None,
+        model,
+    ):
+        self.clients = clients
+        self.compressors = compressors
+        self.model = model
+
+    def execute(
+        self,
+        task: ClientTask,
+        global_params: np.ndarray | None,
+        global_states: list[np.ndarray] | None,
+        spec: TrainSpec,
+    ) -> TaskResult:
+        """Run one client task to completion (train, then compress)."""
+        if task.params is not None:
+            params = task.params
+        elif task.params_row is not None:
+            if global_params is None:
+                raise ValueError(
+                    f"task for client {task.cid} indexes params_row "
+                    f"{task.params_row} but no global parameters were given"
+                )
+            params = global_params[task.params_row]
+        else:
+            params = global_params
+        if params is None:
+            raise ValueError(f"task for client {task.cid} has no parameters")
+        client = self.clients[task.cid]
+
+        t0 = time.perf_counter()
+        res = client.local_train(
+            self.model,
+            params,
+            lr=spec.lr,
+            epochs=spec.epochs,
+            momentum=spec.momentum,
+            weight_decay=spec.weight_decay,
+            proximal_mu=spec.proximal_mu,
+            optimizer=spec.optimizer,
+            global_states=global_states,
+        )
+        train_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if task.ratio is None:
+            update: CompressedUpdate = DenseUpdate(
+                dense_size=res.delta.shape[0], values=res.delta
+            )
+        else:
+            if self.compressors is None:
+                raise ValueError(
+                    f"task for client {task.cid} requests compression at ratio "
+                    f"{task.ratio} but no compressors were configured"
+                )
+            update = self.compressors[task.cid].compress(res.delta, float(task.ratio))
+        compress_seconds = time.perf_counter() - t0
+
+        return TaskResult(
+            position=task.position,
+            cid=task.cid,
+            update=update,
+            state_arrays=res.state_arrays,
+            mean_loss=res.mean_loss,
+            num_batches=res.num_batches,
+            train_seconds=train_seconds,
+            compress_seconds=compress_seconds,
+            delta=res.delta if spec.return_delta else None,
+        )
+
+
+class ExecutionBackend(ABC):
+    """Executes one round's client tasks; see the module determinism contract."""
+
+    #: Registry name ("serial" | "thread" | "process").
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_round(
+        self,
+        tasks: Sequence[ClientTask],
+        global_params: np.ndarray | None,
+        global_states: list[np.ndarray] | None,
+        spec: TrainSpec,
+    ) -> list[TaskResult]:
+        """Execute ``tasks`` and return results sorted by ``position``."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent). Default: nothing to do."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def resolve_workers(workers: int | None, *, default_cap: int = 8) -> int:
+    """Worker count: explicit value, else ``min(cpu_count, default_cap)``."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return int(workers)
+    return max(1, min(os.cpu_count() or 1, default_cap))

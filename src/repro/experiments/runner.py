@@ -1,4 +1,10 @@
-"""Run experiment groups: algorithm comparisons and hyperparameter sweeps."""
+"""Run experiment groups: algorithm comparisons and hyperparameter sweeps.
+
+Every run goes through :class:`~repro.fl.simulation.Simulation` as a context
+manager so parallel execution backends (``repro.exec``) release their worker
+pools between runs; select a backend via the base config
+(``base.with_(backend="process", workers=4)``).
+"""
 
 from __future__ import annotations
 
@@ -21,6 +27,8 @@ def run_comparison(
 
     Because every run shares the seed, differences in outcomes are
     attributable to the algorithm alone — the paper's comparison protocol.
+    The execution backend never changes outcomes (seeded runs are
+    bit-identical across backends), only wall-clock time.
     """
     out: dict[str, History] = {}
     for alg in algorithms:
@@ -29,7 +37,8 @@ def run_comparison(
             cfg = cfg.with_(compression_ratio=compression_ratio)
         if alg == "fedavg":
             cfg = cfg.with_(compression_ratio=1.0)
-        out[alg] = Simulation(cfg).run()
+        with Simulation(cfg) as sim:
+            out[alg] = sim.run()
     return out
 
 
@@ -41,5 +50,6 @@ def sweep(
     """Run ``base`` once per value of one config field (e.g. γ, α, N)."""
     out: dict[object, History] = {}
     for v in values:
-        out[v] = Simulation(base.with_(**{param: v})).run()
+        with Simulation(base.with_(**{param: v})) as sim:
+            out[v] = sim.run()
     return out

@@ -68,18 +68,26 @@ class Client:
         weight_decay: float = 0.0,
         proximal_mu: float = 0.0,
         optimizer: str = "sgd",
+        global_states: list[np.ndarray] | None = None,
     ) -> LocalTrainResult:
         """Run LOCALTRAINING on a shared model instance.
 
         The caller owns the model object; this method loads ``global_params``
-        into it, trains in place, and reads the result out — the single-
-        process analogue of shipping the model to the device.
+        (and, when given, the ``global_states`` persistent buffers — BN
+        running stats) into it, trains in place, and reads the result out —
+        the single-process analogue of shipping the model to the device.
+        Because the model is fully re-initialized from the round's inputs,
+        any architecturally-identical replica produces the same result,
+        which is what lets execution backends train on private model copies.
 
         ``proximal_mu > 0`` adds FedProx's proximal gradient
         ``μ·(w − w_t)`` each step, pulling local iterates toward the global
         model to counter client drift (Li et al., the paper's FedProx [27]).
         """
         set_flat_params(model, global_params)
+        if global_states is not None:
+            for live, saved in zip(model.state_arrays(), global_states):
+                live[...] = saved
         params = model.parameters()
         if optimizer == "sgd":
             opt = SGD(params, lr=lr, momentum=momentum, weight_decay=weight_decay)

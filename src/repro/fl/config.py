@@ -4,9 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.exec import BACKENDS
 from repro.utils.validation import check_fraction, check_positive
 
-__all__ = ["ExperimentConfig", "ALGORITHMS"]
+__all__ = ["ExperimentConfig", "ALGORITHMS", "BACKENDS"]
 
 #: Algorithms of Table 2 (the baselines and the paper's two methods) plus
 #: the deadline-drop straggler policy used as an extra ablation baseline.
@@ -66,6 +67,10 @@ class ExperimentConfig:
     seed: int = 0
     eval_every: int = 1  # evaluate test accuracy every k rounds
 
+    # Execution engine (repro.exec): how the round's client work runs.
+    backend: str = "serial"  # "serial" | "thread" | "process"
+    workers: int | None = None  # parallel worker count (None = auto)
+
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
             raise ValueError(f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}")
@@ -98,6 +103,10 @@ class ExperimentConfig:
             raise ValueError(f"server_momentum must be in [0, 1), got {self.server_momentum}")
         check_positive("downlink_factor", self.downlink_factor)
         check_fraction("deadline_quantile", self.deadline_quantile)
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @property
     def clients_per_round(self) -> int:

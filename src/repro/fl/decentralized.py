@@ -23,11 +23,12 @@ import numpy as np
 from repro.compression.registry import make_compressor
 from repro.data.datasets import DATASET_SPECS, train_test_split
 from repro.data.partition import dirichlet_partition
+from repro.exec import ClientTask, TrainSpec
 from repro.fl.client import Client
 from repro.fl.config import ExperimentConfig
+from repro.fl.engine import EngineMixin, build_config_model
 from repro.network.cost import model_bits, sparse_uplink_time
 from repro.network.links import PAPER_LINK_MODEL, sample_links
-from repro.nn.models import build_model
 from repro.nn.params import get_flat_params, num_parameters, set_flat_params
 from repro.utils.rng import RngFactory
 
@@ -79,7 +80,7 @@ class GossipRound:
     comm_time: float
 
 
-class DecentralizedSimulation:
+class DecentralizedSimulation(EngineMixin):
     """D-PSGD with Top-K gossip over an explicit topology.
 
     Reuses the centralized engine's config for the task/optimizer knobs;
@@ -111,13 +112,7 @@ class DecentralizedSimulation:
                    rngs.child("client", cid), flatten_inputs=flatten)
             for cid, ix in enumerate(partition.client_indices)
         ]
-        self.model = build_model(
-            config.model,
-            in_channels=spec.channels,
-            image_size=spec.image_size,
-            num_classes=spec.num_classes,
-            seed=rngs.stream("model"),
-        )
+        self.model = build_config_model(config, seed=rngs.stream("model"))
         init = get_flat_params(self.model)
         self.params = np.tile(init, (n, 1))  # one row per client
         self.volume_bits = model_bits(num_parameters(self.model))
@@ -127,6 +122,32 @@ class DecentralizedSimulation:
         ]
         self.history: list[GossipRound] = []
         self.round_index = 0
+
+        # Every client trains every round, so gossip rounds parallelize the
+        # same way as centralized ones. Persistent model state (BN stats) is
+        # deliberately NOT synchronized between clients here — matching the
+        # pre-backend behaviour — so only the serial backend is exactly
+        # order-reproducing for models with persistent buffers. Rather than
+        # silently break the cross-backend bit-identity contract, refuse the
+        # combination outright; the stock decentralized models (MLP/GN)
+        # carry no buffers and parallelize freely.
+        if config.backend != "serial" and self.model.state_arrays():
+            raise ValueError(
+                f"model {config.model!r} carries persistent buffers (BN stats), "
+                "which the decentralized engine does not synchronize across "
+                "parallel workers — use backend='serial' or a buffer-free "
+                "model (e.g. 'mlp', 'gn_cnn')"
+            )
+        # Deliberately NOT TrainSpec.from_config: D-PSGD local steps have
+        # always used plain SGD with no proximal term, whatever the config's
+        # FedProx/Adam knobs say (they parameterize the *centralized* engine).
+        self._train_spec = TrainSpec(
+            lr=config.lr,
+            epochs=config.local_epochs,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            return_delta=True,
+        )
 
     # ------------------------------------------------------------------
 
@@ -143,26 +164,29 @@ class DecentralizedSimulation:
         cfg = self.config
         n = cfg.num_clients
 
-        # Local training from each client's own parameters.
-        new_params = self.params.copy()
+        # Local training from each client's own parameters, plus per-client
+        # compression of the round update — one backend task per client.
         if train:
-            for i, client in enumerate(self.clients):
-                res = client.local_train(
-                    self.model,
-                    self.params[i],
-                    lr=cfg.lr,
-                    epochs=cfg.local_epochs,
-                    momentum=cfg.momentum,
-                    weight_decay=cfg.weight_decay,
-                )
+            # The whole per-client parameter matrix is the round's global
+            # input (one shared-memory broadcast on the process backend);
+            # each task indexes its own row.
+            new_params = np.empty_like(self.params)
+            compressed_new = np.empty_like(self.params)
+            tasks = [
+                ClientTask(position=i, cid=i, ratio=cfg.compression_ratio, params_row=i)
+                for i in range(n)
+            ]
+            results = self.backend.run_round(tasks, self.params, None, self._train_spec)
+            for i, res in enumerate(results):
                 new_params[i] = self.params[i] - res.delta
-
-        # Each client compresses its round update for its neighbors.
-        compressed_new = np.empty_like(new_params)
-        for i in range(n):
-            delta = self.params[i] - new_params[i]
-            approx = self.compressors[i].compress(delta, cfg.compression_ratio).to_dense()
-            compressed_new[i] = self.params[i] - approx
+                compressed_new[i] = self.params[i] - res.update.to_dense()
+        else:
+            # No training: the round update is exactly zero, and TopK of a
+            # zero vector reconstructs to zero — neighbors mix the previous
+            # parameters unchanged. Both views alias self.params (read-only
+            # below).
+            new_params = self.params
+            compressed_new = self.params
 
         # Mixing: own params exactly, neighbors' through the compressed view.
         mixed = np.empty_like(new_params)

@@ -4,9 +4,11 @@ One :class:`Simulation` owns the dataset, partition, client pool, network
 links, global model and algorithm, and advances round by round:
 
 1. sample the client set ``S_t`` (Alg. 1 line 7);
-2. each selected client trains locally from ``w_t`` (lines 9–11, 21–27);
-3. the algorithm plans ratios/coefficients (BCRS, Alg. 2) and clients
-   compress their updates (line 12);
+2. the algorithm plans ratios/coefficients (BCRS, Alg. 2);
+3. the selected clients train locally from ``w_t`` (lines 9–11, 21–27) and
+   compress their updates (line 12) — dispatched as independent tasks to a
+   pluggable execution backend (:mod:`repro.exec`: serial, thread pool, or
+   forked process pool), all of which yield bit-identical seeded results;
 4. the round's communication times are scored with the Sec. 5.2 metrics;
 5. the server aggregates (lines 14–18, with the OPWA mask of Alg. 3 when
    enabled) and evaluates the new global model.
@@ -14,11 +16,9 @@ links, global model and algorithm, and advances round by round:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.compression.base import CompressedUpdate, DenseUpdate, SparseUpdate
+from repro.compression.base import CompressedUpdate, SparseUpdate
 from repro.compression.registry import make_compressor
 from repro.core.aggregation import weighted_sparse_sum
 from repro.core.opwa import opwa_mask_from_updates
@@ -26,23 +26,24 @@ from repro.core.server_opt import make_server_optimizer
 from repro.core.overlap import overlap_distribution
 from repro.data.datasets import DATASET_SPECS, train_test_split
 from repro.data.partition import dirichlet_partition, iid_partition, shard_partition
+from repro.exec import ClientTask, TrainSpec
 from repro.fl.algorithms import Algorithm, make_algorithm
 from repro.fl.client import Client
 from repro.fl.config import ExperimentConfig
+from repro.fl.engine import EngineMixin, build_config_model
 from repro.fl.history import History, RoundRecord
 from repro.fl.sampler import UniformSampler
 from repro.network.cost import LinkSpec, model_bits
 from repro.network.links import PAPER_LINK_MODEL, TimeVaryingLink, sample_links
 from repro.nn.losses import accuracy as batch_accuracy
-from repro.nn.models import build_model
 from repro.nn.params import get_flat_params, num_parameters, set_flat_params
 from repro.utils.rng import RngFactory
 
 __all__ = ["Simulation", "run_experiment"]
 
 
-class Simulation:
-    """A fully-seeded single-process FL run."""
+class Simulation(EngineMixin):
+    """A fully-seeded FL run; the round's client work runs on ``backend``."""
 
     def __init__(self, config: ExperimentConfig):
         self.config = config
@@ -67,13 +68,7 @@ class Simulation:
             )
 
         # Model and its flat-parameter view.
-        self.model = build_model(
-            config.model,
-            in_channels=spec.channels,
-            image_size=spec.image_size,
-            num_classes=spec.num_classes,
-            seed=rngs.stream("model"),
-        )
+        self.model = build_config_model(config, seed=rngs.stream("model"))
         self.global_params = get_flat_params(self.model)
         self.global_states = [a.copy() for a in self.model.state_arrays()]
         # The timing simulation can price a paper-scale model (e.g. ResNet-18's
@@ -135,6 +130,8 @@ class Simulation:
         #: Sparse updates of the most recent round (for overlap analysis, Fig. 4).
         self.last_round_updates: list[CompressedUpdate] = []
 
+        self._train_spec = TrainSpec.from_config(config)
+
     # ------------------------------------------------------------------ round
 
     def run_round(self) -> RoundRecord:
@@ -151,38 +148,22 @@ class Simulation:
 
         plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)
 
-        # Local training (line 11) on the shared model instance.
-        t0 = time.perf_counter()
-        results = []
-        for cid in selected:
-            for live, saved in zip(self.model.state_arrays(), self.global_states):
-                live[...] = saved
-            results.append(
-                self.clients[cid].local_train(
-                    self.model,
-                    self.global_params,
-                    lr=cfg.lr,
-                    epochs=cfg.local_epochs,
-                    momentum=cfg.momentum,
-                    weight_decay=cfg.weight_decay,
-                    proximal_mu=cfg.proximal_mu,
-                    optimizer=cfg.local_optimizer,
-                )
+        # Local training + compression (lines 11–12): one task per selected
+        # client, dispatched to the configured execution backend.
+        tasks = [
+            ClientTask(
+                position=pos,
+                cid=int(cid),
+                ratio=None if plan.ratios is None else float(plan.ratios[pos]),
             )
-        train_seconds = time.perf_counter() - t0
-
-        # Compression (line 12).
-        t0 = time.perf_counter()
-        updates: list[CompressedUpdate] = []
-        if plan.ratios is None:
-            for res in results:
-                updates.append(DenseUpdate(dense_size=res.delta.shape[0], values=res.delta))
-        else:
-            for pos, (cid, res) in enumerate(zip(selected, results)):
-                updates.append(
-                    self.compressors[cid].compress(res.delta, float(plan.ratios[pos]))
-                )
-        compress_seconds = time.perf_counter() - t0
+            for pos, cid in enumerate(selected)
+        ]
+        results = self.backend.run_round(
+            tasks, self.global_params, self.global_states, self._train_spec
+        )
+        train_seconds = sum(r.train_seconds for r in results)
+        compress_seconds = sum(r.compress_seconds for r in results)
+        updates: list[CompressedUpdate] = [r.update for r in results]
         self.last_round_updates = updates
 
         # OPWA mask (line 17) and aggregation (lines 14/16/18).
@@ -261,5 +242,6 @@ class Simulation:
 
 
 def run_experiment(config: ExperimentConfig) -> History:
-    """Convenience: build and run a full simulation."""
-    return Simulation(config).run()
+    """Convenience: build and run a full simulation, releasing its workers."""
+    with Simulation(config) as sim:
+        return sim.run()

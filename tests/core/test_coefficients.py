@@ -29,6 +29,10 @@ class TestNormalizeRatios:
         with pytest.raises(ValueError):
             normalize_ratios(np.array([]))
 
+    def test_unknown_mode_error_names_mode_and_valid_set(self):
+        with pytest.raises(ValueError, match=r"'bogus'.*\('sum', 'max', 'none'\)"):
+            normalize_ratios(np.array([0.1]), mode="bogus")
+
 
 class TestFedAvgCoefficients:
     def test_passthrough(self):
