@@ -6,7 +6,6 @@ global learning-rate boost rather than a targeted correction. This ablation
 sweeps D and reports accuracy plus how much of the model each D enlarges.
 """
 
-import numpy as np
 
 from benchmarks.conftest import emit
 from repro.compression.base import SparseUpdate

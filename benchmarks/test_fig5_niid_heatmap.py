@@ -6,7 +6,6 @@ cells, higher EMD-to-global, lower per-client label entropy) while β=0.5
 spreads them; both allocate every sample exactly once.
 """
 
-import numpy as np
 
 from benchmarks.conftest import emit
 from repro.data.datasets import make_dataset

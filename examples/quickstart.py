@@ -8,15 +8,19 @@ time — the essence of Table 2 / Table 3 in one minute on a laptop.
 
 Run:  python examples/quickstart.py [--backend serial|thread|process]
                                     [--workers N] [--rounds N]
+                                    [--mode sync|semisync|async]
 
 The backend changes only wall-clock time: seeded results are bit-identical
-on every backend (see src/repro/exec/).
+on every backend (see src/repro/exec/). The mode changes *when* client
+work lands on the virtual clock (see src/repro/simtime/): try
+``--mode async`` for FedBuff-style buffered aggregation with no round
+barrier.
 """
 
 import argparse
 
 from repro.experiments import bench_config, run_comparison, summarize_comparison
-from repro.fl.config import BACKENDS
+from repro.fl.config import BACKENDS, MODES
 
 
 def main() -> None:
@@ -25,6 +29,8 @@ def main() -> None:
                         help="execution backend for the round's client work")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for thread/process backends")
+    parser.add_argument("--mode", default="sync", choices=MODES,
+                        help="round protocol on the virtual clock")
     parser.add_argument("--rounds", type=int, default=30)
     args = parser.parse_args()
 
@@ -35,10 +41,11 @@ def main() -> None:
         rounds=args.rounds,
         backend=args.backend,
         workers=args.workers,
+        mode=args.mode,
     )
     print(f"dataset={base.dataset}  clients={base.num_clients}  "
           f"C={base.participation}  beta={base.beta}  rounds={base.rounds}  "
-          f"backend={base.backend}\n")
+          f"backend={base.backend}  mode={base.mode}\n")
 
     results = run_comparison(
         base,

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
-
 from repro.compression.base import SparseUpdate
 from repro.core.bcrs import schedule_ratios
 from repro.core.overlap import overlap_distribution

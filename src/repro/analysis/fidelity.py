@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressedUpdate, Compressor
+from repro.compression.base import CompressedUpdate
 from repro.core.aggregation import weighted_sparse_sum
 
 __all__ = ["retained_mass", "relative_error", "aggregation_fidelity"]

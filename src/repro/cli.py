@@ -3,7 +3,9 @@
 ::
 
     python -m repro run --dataset cifar10 --algorithm bcrs_opwa --cr 0.1 --beta 0.1
+    python -m repro run --dataset cifar10 --mode async --buffer-size 3
     python -m repro compare --dataset svhn --cr 0.01 --beta 0.5 --rounds 40
+    python -m repro modes --dataset cifar10 --algorithm topk --target-acc 0.3
     python -m repro sweep --param gamma --values 3,5,7 --algorithm bcrs_opwa --cr 0.01
     python -m repro info
 
@@ -19,16 +21,16 @@ import sys
 from repro import __version__
 from repro.compression.registry import available_compressors
 from repro.experiments.presets import bench_config, paper_config
-from repro.experiments.reporting import series_text, summarize_comparison
-from repro.experiments.runner import run_comparison, sweep as run_sweep
-from repro.fl.config import ALGORITHMS, BACKENDS
-from repro.fl.simulation import Simulation
+from repro.experiments.reporting import series_text, summarize_comparison, summarize_modes
+from repro.experiments.runner import run_comparison, run_modes, sweep as run_sweep
+from repro.fl.config import ALGORITHMS, BACKENDS, MODES
 from repro.io.history_io import export_curves_csv, save_history
+from repro.simtime import make_simulation
 
 __all__ = ["main", "build_parser"]
 
 
-def _add_common(p: argparse.ArgumentParser) -> None:
+def _add_common(p: argparse.ArgumentParser, *, mode_flag: bool = True) -> None:
     p.add_argument("--dataset", default="cifar10", help="cifar10 | svhn | cifar100 | synth-*")
     p.add_argument("--beta", type=float, default=0.5, help="Dirichlet heterogeneity")
     p.add_argument("--cr", type=float, default=0.1, help="compression ratio CR*")
@@ -43,13 +45,34 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None,
         help="parallel worker count for thread/process backends (default: auto)",
     )
+    if mode_flag:  # the `modes` subcommand races every protocol instead
+        p.add_argument(
+            "--mode", default="sync", choices=MODES,
+            help="round protocol: lock-step sync, deadline semisync, FedBuff async",
+        )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="semisync: fixed round deadline on the virtual clock "
+             "(default: per-round quantile of predicted finish times)",
+    )
+    p.add_argument(
+        "--buffer-size", type=int, default=None, metavar="K",
+        help="async: aggregate every K arrivals (default: half the concurrency)",
+    )
     p.add_argument("--save-history", metavar="PATH", default=None)
     p.add_argument("--export-csv", metavar="PATH", default=None)
 
 
 def _config(args: argparse.Namespace, algorithm: str):
     maker = paper_config if args.paper_scale else bench_config
-    overrides = {"seed": args.seed, "backend": args.backend, "workers": args.workers}
+    overrides = {
+        "seed": args.seed,
+        "backend": args.backend,
+        "workers": args.workers,
+        "mode": getattr(args, "mode", "sync"),
+        "deadline_s": args.deadline,
+        "buffer_size": args.buffer_size,
+    }
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
     return maker(
@@ -81,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--values", required=True, help="comma-separated values")
     _add_common(p_sweep)
 
+    p_modes = sub.add_parser(
+        "modes", help="race sync vs semisync vs async on one config"
+    )
+    p_modes.add_argument("--algorithm", default="topk", choices=ALGORITHMS)
+    p_modes.add_argument(
+        "--target-acc", type=float, default=None,
+        help="also report virtual time-to-target accuracy per mode",
+    )
+    _add_common(p_modes, mode_flag=False)
+
     sub.add_parser("info", help="print registered algorithms and compressors")
     return parser
 
@@ -96,11 +129,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         cfg = _config(args, args.algorithm)
-        with Simulation(cfg) as sim:
+        with make_simulation(cfg) as sim:
             history = sim.run()
         print(series_text(history, every=max(1, cfg.rounds // 10)))
+        virt = history.records[-1].sim_end if history.records else 0.0
         print(f"\nfinal accuracy {history.final_accuracy():.4f}  "
-              f"comm time {history.time.actual_total:.1f}s")
+              f"comm time {history.time.actual_total:.1f}s  "
+              f"virtual time {virt:.1f}s  mode {cfg.mode}")
         if args.save_history:
             save_history(history, args.save_history)
         if args.export_csv:
@@ -119,6 +154,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.save_history:
             for alg, h in results.items():
                 save_history(h, f"{args.save_history}.{alg}.json")
+        return 0
+
+    if args.command == "modes":
+        base = _config(args, args.algorithm)
+        results = run_modes(base)
+        print(summarize_modes(results, target=args.target_acc))
+        if args.save_history:
+            for mode, h in results.items():
+                save_history(h, f"{args.save_history}.{mode}.json")
+        if args.export_csv:
+            for mode, h in results.items():
+                export_curves_csv(h, f"{args.export_csv}.{mode}.csv")
         return 0
 
     if args.command == "sweep":

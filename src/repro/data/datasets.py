@@ -18,7 +18,7 @@ and harder datasets overlap their templates more.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

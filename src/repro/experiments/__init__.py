@@ -7,10 +7,11 @@ from repro.experiments.reporting import (
     paired_row,
     series_text,
     summarize_comparison,
+    summarize_modes,
     time_to_accuracy_row,
 )
 from repro.experiments.metrics import accuracy_auc, rounds_speedup, speedup_to_target
-from repro.experiments.runner import run_comparison, sweep
+from repro.experiments.runner import run_comparison, run_modes, sweep
 from repro.experiments import paper_reference
 
 __all__ = [
@@ -19,7 +20,9 @@ __all__ = [
     "bench_scale",
     "DATASET_NAME_MAP",
     "run_comparison",
+    "run_modes",
     "sweep",
+    "summarize_modes",
     "accuracy_auc",
     "speedup_to_target",
     "rounds_speedup",

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.fl.history import History
 
 __all__ = [
@@ -13,6 +11,7 @@ __all__ = [
     "series_text",
     "paired_row",
     "summarize_comparison",
+    "summarize_modes",
 ]
 
 
@@ -65,6 +64,35 @@ def series_text(history: History, *, every: int = 10, width: int = 40) -> str:
         bar = "#" * int(round(a * width))
         lines.append(f"round {int(r):>4d}  acc {a:.3f}  {bar}")
     return "\n".join(lines)
+
+
+def summarize_modes(results: dict[str, History], *, target: float | None = None) -> str:
+    """Mode-race summary: accuracy, virtual time, and time-to-target.
+
+    ``results`` maps mode name → history (see
+    :func:`repro.experiments.runner.run_modes`). ``virtual_time`` is the
+    clock at the last round's end — download + compute + upload, the axis
+    on which sync/semisync/async are comparable; ``t_to_target`` is when
+    ``target`` accuracy was first reached on that axis.
+    """
+    headers = ["mode", "rounds", "final_acc", "best_acc", "virtual_time"]
+    if target is not None:
+        headers.append(f"t_to_acc>={target:g}")
+    rows = []
+    for mode, h in results.items():
+        end = h.records[-1].sim_end if h.records else None
+        row = [
+            mode,
+            str(len(h)),
+            _num(h.final_accuracy()),
+            _num(h.best_accuracy()),
+            "--" if end is None else f"{end:.1f}s",
+        ]
+        if target is not None:
+            t = h.simtime_to_accuracy(target)
+            row.append("--" if t is None else f"{t:.1f}s")
+        rows.append(row)
+    return format_table(headers, rows)
 
 
 def summarize_comparison(results: dict[str, History]) -> str:

@@ -1,20 +1,22 @@
-"""Run experiment groups: algorithm comparisons and hyperparameter sweeps.
+"""Run experiment groups: algorithm comparisons, sweeps, and mode races.
 
-Every run goes through :class:`~repro.fl.simulation.Simulation` as a context
-manager so parallel execution backends (``repro.exec``) release their worker
-pools between runs; select a backend via the base config
-(``base.with_(backend="process", workers=4)``).
+Every run goes through a simulation built by
+:func:`repro.simtime.make_simulation` as a context manager so parallel
+execution backends (``repro.exec``) release their worker pools between
+runs; select a backend via the base config
+(``base.with_(backend="process", workers=4)``) and a round protocol via
+``base.with_(mode="async")``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.fl.config import ExperimentConfig
+from repro.fl.config import MODES, ExperimentConfig
 from repro.fl.history import History
-from repro.fl.simulation import Simulation
+from repro.simtime import make_simulation
 
-__all__ = ["run_comparison", "sweep"]
+__all__ = ["run_comparison", "sweep", "run_modes"]
 
 
 def run_comparison(
@@ -37,7 +39,7 @@ def run_comparison(
             cfg = cfg.with_(compression_ratio=compression_ratio)
         if alg == "fedavg":
             cfg = cfg.with_(compression_ratio=1.0)
-        with Simulation(cfg) as sim:
+        with make_simulation(cfg) as sim:
             out[alg] = sim.run()
     return out
 
@@ -50,6 +52,28 @@ def sweep(
     """Run ``base`` once per value of one config field (e.g. γ, α, N)."""
     out: dict[object, History] = {}
     for v in values:
-        with Simulation(base.with_(**{param: v})) as sim:
+        with make_simulation(base.with_(**{param: v})) as sim:
             out[v] = sim.run()
+    return out
+
+
+def run_modes(
+    base: ExperimentConfig,
+    modes: Iterable[str] = MODES,
+) -> dict[str, History]:
+    """Race the round protocols on one config: same seed, same budget.
+
+    Every mode sees identical data, model init, links, and device profiles;
+    only *when* client work lands differs. Compare with
+    ``History.accuracy_vs_simtime()`` / ``simtime_to_accuracy(target)`` —
+    the virtual-clock axis prices download + compute + upload uniformly
+    across modes, which is the time-to-accuracy question (Fig. 10) the
+    scheduler exists to answer.
+    """
+    out: dict[str, History] = {}
+    for mode in modes:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        with make_simulation(base.with_(mode=mode)) as sim:
+            out[mode] = sim.run()
     return out

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.bcrs import schedule_ratios
 from repro.core.coefficients import adjusted_coefficients, fedavg_coefficients
 from repro.fl.config import ExperimentConfig
-from repro.network.cost import LinkSpec, sparse_uplink_time, uplink_time
+from repro.network.cost import LinkSpec, downlink_time, sparse_uplink_time, uplink_time
 from repro.network.metrics import RoundTimes
 
 __all__ = ["RoundPlan", "Algorithm", "make_algorithm"]
@@ -37,10 +37,7 @@ def _downlink_times(
     """Broadcast time of the dense global model at ``factor``× the uplink
     bandwidth (downlink is uncompressed — Sec. 3.3's uplink-only rationale)."""
     return np.array(
-        [
-            uplink_time(LinkSpec(l.bandwidth_bps * factor, l.latency_s), volume_bits)
-            for l in links
-        ]
+        [downlink_time(l, volume_bits, bandwidth_factor=factor) for l in links]
     )
 
 
@@ -65,10 +62,16 @@ def _round_times(
     if downlink is not None:
         dense = dense + downlink
         compressed = compressed + downlink
+    # ``maximum`` is the worst per-client time of the round. For CR <= 0.5
+    # that is always the dense straggler (sparse volume = 2·V·CR <= V), but
+    # the config permits CR > 0.5 where the (index, value) encoding
+    # *inflates* the upload — take the elementwise worst so the
+    # minimum <= maximum invariant survives anti-compression too.
     return RoundTimes(
         actual=float(compressed.max()),
-        maximum=float(dense.max()),
+        maximum=float(np.maximum(dense, compressed).max()),
         minimum=float(compressed.min()),
+        downlink=0.0 if downlink is None else float(downlink.max()),
     )
 
 
@@ -157,12 +160,16 @@ class DeadlineTopKAlgorithm(TopKAlgorithm):
         down = self._downlink(links, volume_bits)
         actual = deadline
         minimum = float(compressed.min())
-        maximum = float(dense.max())
+        # Worst per-client time: the dense straggler for real compression,
+        # the compressed straggler when CR > 0.5 inflates uploads.
+        maximum = float(np.maximum(dense, compressed).max())
+        down_part = 0.0
         if down is not None:
-            actual += float(down.max())
+            down_part = float(down.max())
+            actual += down_part
             minimum += float(down.min())
-            maximum += float(down.max())
-        times = RoundTimes(actual=actual, maximum=maximum, minimum=minimum)
+            maximum += down_part
+        times = RoundTimes(actual=actual, maximum=maximum, minimum=minimum, downlink=down_part)
         return RoundPlan(ratios=ratios, weights=weights, use_opwa=False, times=times)
 
 
@@ -196,8 +203,11 @@ class BCRSAlgorithm(Algorithm):
             scheduled = scheduled + down
         times = RoundTimes(
             actual=float(scheduled.max()),
-            maximum=float(dense.max()),
+            # Scheduled times can exceed the dense straggler at CR* > 0.5
+            # (sparse factor 2); keep maximum the worst per-client time.
+            maximum=float(np.maximum(dense, scheduled).max()),
             minimum=float(scheduled.min()),
+            downlink=0.0 if down is None else float(down.max()),
         )
         return RoundPlan(ratios=sched.ratios, weights=weights, use_opwa=self.use_opwa, times=times)
 

@@ -22,7 +22,9 @@ class BernoulliAvailability:
         if num_clients < 1:
             raise ValueError(f"num_clients must be >= 1, got {num_clients}")
         self.num_clients = int(num_clients)
-        self.p = check_fraction("p", p)
+        # p=0 (a fleet that is fully offline) is legal: the sampler's
+        # on_empty policy defines what a zero-available round does.
+        self.p = check_fraction("p", p, allow_zero=True)
         self.rng = as_generator(seed)
 
     def step(self) -> np.ndarray:
@@ -47,8 +49,8 @@ class MarkovAvailability:
     ):
         if num_clients < 1:
             raise ValueError(f"num_clients must be >= 1, got {num_clients}")
-        check_fraction("p_stay_on", p_stay_on)
-        check_fraction("p_stay_off", p_stay_off)
+        check_fraction("p_stay_on", p_stay_on, allow_zero=True)
+        check_fraction("p_stay_off", p_stay_off, allow_zero=True)
         self.num_clients = int(num_clients)
         self.p_stay_on = float(p_stay_on)
         self.p_stay_off = float(p_stay_off)
@@ -67,8 +69,15 @@ class AvailabilityAwareSampler:
     """Sample up to ``clients_per_round`` among currently-available clients.
 
     If fewer clients are available than requested, the round proceeds with
-    what there is (at least one — if nobody is available the sampler waits,
-    i.e. resamples availability, mirroring production FL schedulers).
+    what there is. A round where *zero* clients are available is
+    well-defined either way (``on_empty``):
+
+    - ``"wait"`` (default): resample availability — the scheduler idles
+      until devices come back, mirroring production FL schedulers. Raises
+      ``RuntimeError`` only after ``max_waits`` consecutive empty steps
+      (e.g. a Bernoulli process with ``p=0``, which can never produce one).
+    - ``"skip"``: return an empty array immediately, letting the caller
+      skip the round (one availability step is consumed either way).
     """
 
     def __init__(
@@ -78,16 +87,23 @@ class AvailabilityAwareSampler:
         seed: int | np.random.Generator = 0,
         *,
         max_waits: int = 1000,
+        on_empty: str = "wait",
     ):
         if clients_per_round < 1:
             raise ValueError(f"clients_per_round must be >= 1, got {clients_per_round}")
+        if on_empty not in ("wait", "skip"):
+            raise ValueError(f"on_empty must be 'wait' or 'skip', got {on_empty!r}")
         self.availability = availability
         self.clients_per_round = int(clients_per_round)
         self.rng = as_generator(seed)
         self.max_waits = int(max_waits)
+        self.on_empty = on_empty
 
     def sample(self) -> np.ndarray:
-        """Available-client ids for this round (sorted, possibly < target)."""
+        """Available-client ids for this round (sorted, possibly < target).
+
+        Empty array ⇔ nobody was available and ``on_empty="skip"``.
+        """
         for _ in range(self.max_waits):
             mask = self.availability.step()
             candidates = np.flatnonzero(mask)
@@ -95,4 +111,6 @@ class AvailabilityAwareSampler:
                 k = min(self.clients_per_round, candidates.size)
                 chosen = self.rng.choice(candidates, size=k, replace=False)
                 return np.sort(chosen)
+            if self.on_empty == "skip":
+                return np.empty(0, dtype=np.int64)
         raise RuntimeError(f"no clients became available in {self.max_waits} waits")

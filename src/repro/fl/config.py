@@ -2,16 +2,23 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.exec import BACKENDS
 from repro.utils.validation import check_fraction, check_positive
 
-__all__ = ["ExperimentConfig", "ALGORITHMS", "BACKENDS"]
+__all__ = ["ExperimentConfig", "ALGORITHMS", "BACKENDS", "MODES", "LATE_POLICIES"]
 
 #: Algorithms of Table 2 (the baselines and the paper's two methods) plus
 #: the deadline-drop straggler policy used as an extra ablation baseline.
 ALGORITHMS = ("fedavg", "topk", "eftopk", "bcrs", "bcrs_opwa", "deadline_topk")
+
+#: Round protocols (repro.simtime): lock-step sync, deadline-based
+#: semi-sync, and FedBuff-style fully-async buffered aggregation.
+MODES = ("sync", "semisync", "async")
+
+#: What a semi-sync round does with updates that miss its deadline.
+LATE_POLICIES = ("carryover", "drop")
 
 
 @dataclass(frozen=True)
@@ -71,6 +78,19 @@ class ExperimentConfig:
     backend: str = "serial"  # "serial" | "thread" | "process"
     workers: int | None = None  # parallel worker count (None = auto)
 
+    # Virtual-clock protocol (repro.simtime): when client work *lands*.
+    mode: str = "sync"  # "sync" | "semisync" | "async"
+    buffer_size: int | None = None  # async: aggregate every K arrivals (None = ⌈M/2⌉)
+    concurrency: int | None = None  # async: in-flight clients M (None = clients_per_round)
+    staleness_exponent: float = 0.5  # async/carryover weight = (1+s)^-a (FedBuff a=1/2)
+    deadline_s: float | None = None  # semisync: fixed round deadline (None = per-round
+    #   deadline_quantile over the selected clients' predicted finish times)
+    late_policy: str = "carryover"  # semisync: late updates "carryover" | "drop"
+
+    # Device compute heterogeneity (repro.simtime.profiles).
+    compute_s_per_sample: float = 5e-3  # median local-training cost (s per sample×epoch)
+    compute_heterogeneity: float = 0.5  # lognormal sigma of per-client speed (0 = uniform)
+
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
             raise ValueError(f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}")
@@ -107,11 +127,47 @@ class ExperimentConfig:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.late_policy not in LATE_POLICIES:
+            raise ValueError(
+                f"late_policy must be one of {LATE_POLICIES}, got {self.late_policy!r}"
+            )
+        if self.buffer_size is not None and self.buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {self.buffer_size}")
+        if self.concurrency is not None and not 1 <= self.concurrency <= self.num_clients:
+            raise ValueError(
+                f"concurrency must be in [1, num_clients={self.num_clients}], "
+                f"got {self.concurrency}"
+            )
+        if self.staleness_exponent < 0:
+            raise ValueError(
+                f"staleness_exponent must be >= 0, got {self.staleness_exponent}"
+            )
+        if self.deadline_s is not None:
+            check_positive("deadline_s", self.deadline_s)
+        check_positive("compute_s_per_sample", self.compute_s_per_sample)
+        check_positive("compute_heterogeneity", self.compute_heterogeneity, strict=False)
 
     @property
     def clients_per_round(self) -> int:
         """|S_t| = max(1, round(N·C))."""
         return max(1, int(round(self.num_clients * self.participation)))
+
+    @property
+    def async_concurrency(self) -> int:
+        """Async mode's in-flight client count M (default: |S_t|)."""
+        return self.clients_per_round if self.concurrency is None else self.concurrency
+
+    @property
+    def async_buffer_size(self) -> int:
+        """Async mode's aggregation buffer K (default: ⌈M/2⌉).
+
+        Every arrival re-dispatches a client, so any K >= 1 makes progress;
+        K larger than the concurrency M just means some buffered updates
+        span several dispatch generations.
+        """
+        return -(-self.async_concurrency // 2) if self.buffer_size is None else self.buffer_size
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """Functional update (configs are frozen)."""

@@ -13,7 +13,8 @@ __all__ = ["RoundRecord", "History"]
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """Everything measured in one communication round."""
+    """Everything measured in one communication round (or, in async mode,
+    one buffered aggregation)."""
 
     round_index: int
     selected: tuple[int, ...]
@@ -25,6 +26,13 @@ class RoundRecord:
     singleton_fraction: float | None  # OPWA diagnostics (None when dense)
     train_seconds: float  # wall-clock local training time (Fig. 6)
     compress_seconds: float  # wall-clock compress+decompress time (Fig. 6)
+    # Virtual-clock span (repro.simtime): the round/aggregation occupied
+    # [sim_start, sim_end] on the scheduler's clock — download + compute +
+    # upload, unlike ``times`` which prices communication only. None on
+    # histories from before the scheduler existed (e.g. old JSON files).
+    sim_start: float | None = None
+    sim_end: float | None = None
+    mean_staleness: float | None = None  # async/carryover: mean model-version lag
 
 
 @dataclass
@@ -63,6 +71,35 @@ class History:
             return np.empty(0), np.empty(0)
         t, accs = zip(*pts)
         return np.asarray(t), np.asarray(accs)
+
+    def accuracy_vs_simtime(self) -> tuple[np.ndarray, np.ndarray]:
+        """(virtual-clock time, accuracy) at evaluated rounds.
+
+        The native time axis for cross-mode (sync / semisync / async)
+        comparison: every record's ``sim_end`` timestamps when its model
+        became available, pricing download + compute + upload. Falls back
+        to :meth:`accuracy_vs_time` for histories without sim spans.
+        """
+        if any(r.sim_end is None for r in self.records):
+            return self.accuracy_vs_time()
+        pts = [
+            (r.sim_end, r.test_accuracy)
+            for r in self.records
+            if r.test_accuracy is not None
+        ]
+        if not pts:
+            return np.empty(0), np.empty(0)
+        t, accs = zip(*pts)
+        return np.asarray(t), np.asarray(accs)
+
+    def simtime_to_accuracy(self, target: float) -> float | None:
+        """Virtual-clock time when ``target`` accuracy is first reached
+        (None if never) — the cross-mode time-to-accuracy extraction."""
+        t, accs = self.accuracy_vs_simtime()
+        for ti, ai in zip(t, accs):
+            if ai >= target:
+                return float(ti)
+        return None
 
     def final_accuracy(self) -> float:
         """Last evaluated test accuracy — the Table 2 number."""

@@ -35,8 +35,9 @@ from repro.fl.history import History, RoundRecord
 from repro.fl.sampler import UniformSampler
 from repro.network.cost import LinkSpec, model_bits
 from repro.network.links import PAPER_LINK_MODEL, TimeVaryingLink, sample_links
-from repro.nn.losses import accuracy as batch_accuracy
 from repro.nn.params import get_flat_params, num_parameters, set_flat_params
+from repro.simtime.events import SpanLog
+from repro.simtime.profiles import pipeline_times, sample_device_profiles
 from repro.utils.rng import RngFactory
 
 __all__ = ["Simulation", "run_experiment"]
@@ -105,6 +106,18 @@ class Simulation(EngineMixin):
                 for l in self.links
             ]
 
+        # Device timing profiles (repro.simtime): per-client compute speed
+        # drawn once, like the links. Used to price each round's virtual-time
+        # span; the event-driven protocols schedule from them directly.
+        self.devices = sample_device_profiles(
+            self.links,
+            median_s_per_sample=config.compute_s_per_sample,
+            heterogeneity=config.compute_heterogeneity,
+            seed=rngs.stream("compute"),
+        )
+        self.spans = SpanLog()  # per-client train/upload intervals (viz/ascii timeline)
+        self.sim_clock = 0.0  # virtual time at which the last round completed
+
         self.sampler = UniformSampler(
             config.num_clients, config.clients_per_round, seed=rngs.stream("sampler")
         )
@@ -131,6 +144,69 @@ class Simulation(EngineMixin):
         self.last_round_updates: list[CompressedUpdate] = []
 
         self._train_spec = TrainSpec.from_config(config)
+
+    # ------------------------------------------------------- shared helpers
+    # (used by this synchronous round loop and by the event-driven
+    # protocols in repro.simtime.protocols — one copy of the semantics)
+
+    def _should_evaluate(self) -> bool:
+        """Evaluation cadence: every ``eval_every`` rounds plus the last."""
+        cfg = self.config
+        return (self.round_index % cfg.eval_every == 0) or (
+            self.round_index == cfg.rounds - 1
+        )
+
+    def _aggregate_updates(
+        self, updates: list[CompressedUpdate], weights, use_opwa: bool
+    ) -> float | None:
+        """Alg. 1 lines 14–18: (masked) weighted sparse sum + server step.
+
+        Returns the OPWA singleton-fraction diagnostic (None when dense).
+        """
+        cfg = self.config
+        mask = None
+        singleton = None
+        sparse = [u for u in updates if isinstance(u, SparseUpdate)]
+        if sparse:
+            singleton = overlap_distribution(sparse).singleton_fraction()
+        if use_opwa and sparse:
+            mask = opwa_mask_from_updates(
+                sparse, cfg.gamma, required_overlap=cfg.required_overlap
+            )
+        pseudo_grad = weighted_sparse_sum(updates, np.asarray(weights), mask=mask)
+        self.global_params = self.server_opt.step(self.global_params, pseudo_grad)
+        return singleton
+
+    def _average_states(self, freqs, state_arrays_per_client) -> None:
+        """FedAvg the persistent buffers (BN running stats) by ``freqs``."""
+        if not self.global_states:
+            return
+        for j in range(len(self.global_states)):
+            acc = np.zeros_like(self.global_states[j], dtype=np.float64)
+            for f, states in zip(freqs, state_arrays_per_client):
+                acc += f * states[j]
+            self.global_states[j] = acc.astype(self.global_states[j].dtype)
+
+    def _price_dispatch(
+        self, cid: int, ratio: float | None, t: float, tag: int
+    ) -> tuple[float, float, float]:
+        """(download, train, upload) virtual durations of one dispatch at
+        ``t``, with its train/upload spans logged for the timeline view."""
+        cfg = self.config
+        down, train_t, up = pipeline_times(
+            self.devices[cid],
+            volume_bits=self.volume_bits,
+            ratio=ratio,
+            num_samples=self.clients[cid].num_samples,
+            epochs=cfg.local_epochs,
+            include_downlink=cfg.include_downlink,
+            downlink_factor=cfg.downlink_factor,
+            link=self.links[cid],
+        )
+        t0 = t + down
+        self.spans.add(cid, "train", t0, t0 + train_t, tag=tag)
+        self.spans.add(cid, "upload", t0 + train_t, t0 + train_t + up, tag=tag)
+        return down, train_t, up
 
     # ------------------------------------------------------------------ round
 
@@ -166,38 +242,37 @@ class Simulation(EngineMixin):
         updates: list[CompressedUpdate] = [r.update for r in results]
         self.last_round_updates = updates
 
-        # OPWA mask (line 17) and aggregation (lines 14/16/18).
-        mask = None
-        singleton = None
-        sparse_updates = [u for u in updates if isinstance(u, SparseUpdate)]
-        if sparse_updates:
-            singleton = overlap_distribution(sparse_updates).singleton_fraction()
-        if plan.use_opwa and sparse_updates:
-            mask = opwa_mask_from_updates(
-                sparse_updates, cfg.gamma, required_overlap=cfg.required_overlap
-            )
-        pseudo_grad = weighted_sparse_sum(updates, plan.weights, mask=mask)
-        self.global_params = self.server_opt.step(self.global_params, pseudo_grad)
+        # OPWA mask (line 17), aggregation (lines 14/16/18), and FedAvg of
+        # the persistent buffers (BN running stats).
+        singleton = self._aggregate_updates(updates, plan.weights, plan.use_opwa)
+        self._average_states(freqs, [r.state_arrays for r in results])
 
-        # FedAvg also averages persistent buffers (BN running stats).
-        if self.global_states:
-            for j in range(len(self.global_states)):
-                acc = np.zeros_like(self.global_states[j], dtype=np.float64)
-                for f, res in zip(freqs, results):
-                    acc += f * res.state_arrays[j]
-                self.global_states[j] = acc.astype(self.global_states[j].dtype)
-
-        # Evaluation cadence.
-        evaluate = (self.round_index % cfg.eval_every == 0) or (
-            self.round_index == cfg.rounds - 1
-        )
-        test_acc = self.evaluate() if evaluate else None
+        test_acc = self.evaluate() if self._should_evaluate() else None
 
         realized = (
             tuple(float(u.density) for u in updates if isinstance(u, SparseUpdate))
             if plan.ratios is not None
             else tuple(1.0 for _ in updates)
         )
+
+        # Virtual-clock span: the synchronous barrier releases when the
+        # slowest *aggregated* client has downloaded, computed, and
+        # uploaded. Clients the plan zero-weighted (deadline_topk drops
+        # stragglers) still burn device time — their spans are logged —
+        # but the server does not wait for them.
+        sim_start = self.sim_clock
+        round_span = 0.0
+        for pos, cid in enumerate(selected):
+            down, train_t, up = self._price_dispatch(
+                int(cid),
+                None if plan.ratios is None else float(plan.ratios[pos]),
+                sim_start,
+                tag=self.round_index,
+            )
+            if plan.weights[pos] > 0:
+                round_span = max(round_span, down + train_t + up)
+        self.sim_clock = sim_start + round_span
+
         record = RoundRecord(
             round_index=self.round_index,
             selected=tuple(int(i) for i in selected),
@@ -209,6 +284,9 @@ class Simulation(EngineMixin):
             singleton_fraction=singleton,
             train_seconds=train_seconds,
             compress_seconds=compress_seconds,
+            sim_start=sim_start,
+            sim_end=self.sim_clock,
+            mean_staleness=0.0,
         )
         self.history.append(record)
         self.round_index += 1
@@ -242,6 +320,11 @@ class Simulation(EngineMixin):
 
 
 def run_experiment(config: ExperimentConfig) -> History:
-    """Convenience: build and run a full simulation, releasing its workers."""
-    with Simulation(config) as sim:
+    """Convenience: build and run a full simulation, releasing its workers.
+
+    Honors ``config.mode`` — event-driven protocols run when it says so.
+    """
+    from repro.simtime import make_simulation
+
+    with make_simulation(config) as sim:
         return sim.run()

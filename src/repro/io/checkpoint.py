@@ -13,7 +13,11 @@ __all__ = ["save_checkpoint", "load_checkpoint"]
 
 def save_checkpoint(sim: Simulation, path: str | Path) -> None:
     """Save the simulation's global model (params + BN buffers + round index)."""
-    arrays = {"global_params": sim.global_params, "round_index": np.array(sim.round_index)}
+    arrays = {
+        "global_params": sim.global_params,
+        "round_index": np.array(sim.round_index),
+        "sim_clock": np.array(sim.sim_clock),
+    }
     for i, state in enumerate(sim.global_states):
         arrays[f"state_{i}"] = state
     np.savez(path, **arrays)
@@ -35,3 +39,11 @@ def load_checkpoint(sim: Simulation, path: str | Path) -> None:
     for i in range(n_states):
         sim.global_states[i] = data[f"state_{i}"].copy()
     sim.round_index = int(data["round_index"])
+    if "sim_clock" in data.files:  # absent in pre-scheduler checkpoints
+        sim.sim_clock = float(data["sim_clock"])
+        # Event-driven protocols keep their own clock cursors; resume them
+        # at the restored time so virtual timestamps continue, not restart.
+        if hasattr(sim, "now"):
+            sim.now = sim.sim_clock
+        if hasattr(sim, "_last_agg"):
+            sim._last_agg = sim.sim_clock

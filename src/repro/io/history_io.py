@@ -25,12 +25,16 @@ def history_to_dict(history: History) -> dict:
                     "actual": r.times.actual,
                     "maximum": r.times.maximum,
                     "minimum": r.times.minimum,
+                    "downlink": r.times.downlink,
                 },
                 "ratios": list(r.ratios),
                 "weights": list(r.weights),
                 "singleton_fraction": r.singleton_fraction,
                 "train_seconds": r.train_seconds,
                 "compress_seconds": r.compress_seconds,
+                "sim_start": r.sim_start,
+                "sim_end": r.sim_end,
+                "mean_staleness": r.mean_staleness,
             }
             for r in history.records
         ]
@@ -51,12 +55,17 @@ def history_from_dict(data: dict) -> History:
                     actual=rec["times"]["actual"],
                     maximum=rec["times"]["maximum"],
                     minimum=rec["times"]["minimum"],
+                    # Pre-scheduler files lack the split fields; default them.
+                    downlink=rec["times"].get("downlink", 0.0),
                 ),
                 ratios=tuple(rec["ratios"]),
                 weights=tuple(rec["weights"]),
                 singleton_fraction=rec["singleton_fraction"],
                 train_seconds=float(rec["train_seconds"]),
                 compress_seconds=float(rec["compress_seconds"]),
+                sim_start=rec.get("sim_start"),
+                sim_end=rec.get("sim_end"),
+                mean_staleness=rec.get("mean_staleness"),
             )
         )
     return h
@@ -73,14 +82,16 @@ def load_history(path: str | Path) -> History:
 
 
 def export_curves_csv(history: History, path: str | Path) -> None:
-    """Write (round, cumulative_time, accuracy) rows — the figure series."""
+    """Write (round, cumulative_time, virtual_time, accuracy) rows — the
+    figure series; ``virtual_time_s`` is empty on pre-scheduler histories."""
     cum = history.time.actual_series
     with open(path, "w", newline="") as f:
         writer = csv.writer(f)
-        writer.writerow(["round", "cumulative_actual_time_s", "test_accuracy"])
+        writer.writerow(["round", "cumulative_actual_time_s", "virtual_time_s", "test_accuracy"])
         for i, r in enumerate(history.records):
             writer.writerow([
                 r.round_index,
                 f"{cum[i]:.6f}",
+                "" if r.sim_end is None else f"{r.sim_end:.6f}",
                 "" if r.test_accuracy is None else f"{r.test_accuracy:.6f}",
             ])

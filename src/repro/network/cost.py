@@ -16,7 +16,14 @@ from dataclasses import dataclass
 
 from repro.utils.validation import check_fraction, check_positive
 
-__all__ = ["LinkSpec", "uplink_time", "sparse_uplink_time", "model_bits", "SPARSE_VOLUME_FACTOR"]
+__all__ = [
+    "LinkSpec",
+    "uplink_time",
+    "downlink_time",
+    "sparse_uplink_time",
+    "model_bits",
+    "SPARSE_VOLUME_FACTOR",
+]
 
 #: Paper's factor for sparse transfers (index + value per retained entry).
 SPARSE_VOLUME_FACTOR = 2.0
@@ -48,6 +55,24 @@ def uplink_time(link: LinkSpec, volume_bits: float) -> float:
     if volume_bits < 0:
         raise ValueError(f"volume_bits must be >= 0, got {volume_bits}")
     return link.latency_s + volume_bits / link.bandwidth_bps
+
+
+def downlink_time(
+    link: LinkSpec, volume_bits: float, *, bandwidth_factor: float = 1.0
+) -> float:
+    """Broadcast (server→client) time: ``T = L + V / (factor·B)``.
+
+    The paper charges only the uplink (Sec. 3.3: broadcast shares one
+    transmission and downstream bandwidth is typically ~10× upstream), but
+    time-to-accuracy accounting needs the server→client volume priced too.
+    ``bandwidth_factor`` scales the client's uplink bandwidth to its
+    downlink (e.g. 10.0 for the asymmetric-residential assumption);
+    latency is direction-symmetric.
+    """
+    check_positive("bandwidth_factor", bandwidth_factor)
+    if volume_bits < 0:
+        raise ValueError(f"volume_bits must be >= 0, got {volume_bits}")
+    return link.latency_s + volume_bits / (link.bandwidth_bps * bandwidth_factor)
 
 
 def sparse_uplink_time(link: LinkSpec, dense_volume_bits: float, cr: float) -> float:

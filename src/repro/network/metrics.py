@@ -22,17 +22,26 @@ __all__ = ["RoundTimes", "TimeAccumulator"]
 
 @dataclass(frozen=True)
 class RoundTimes:
-    """Per-round communication-time summary over the selected clients."""
+    """Per-round communication-time summary over the selected clients.
+
+    ``downlink`` is the round's broadcast (server→client) component,
+    *already included* in the other three fields when downlink accounting
+    is enabled — it is recorded separately so the uplink/downlink split
+    stays recoverable (0.0 when only uplink is charged).
+    """
 
     actual: float
     maximum: float
     minimum: float
+    downlink: float = 0.0
 
     def __post_init__(self):
         if not (self.minimum <= self.maximum):
             raise ValueError(f"minimum {self.minimum} > maximum {self.maximum}")
         if self.actual < 0:
             raise ValueError(f"actual time must be >= 0, got {self.actual}")
+        if self.downlink < 0:
+            raise ValueError(f"downlink time must be >= 0, got {self.downlink}")
 
     @staticmethod
     def from_client_times(times: np.ndarray, actual: float | None = None) -> "RoundTimes":
@@ -51,6 +60,7 @@ class TimeAccumulator:
     actual_total: float = 0.0
     max_total: float = 0.0
     min_total: float = 0.0
+    downlink_total: float = 0.0
     rounds: int = 0
     _actual_series: list[float] = field(default_factory=list)
 
@@ -59,6 +69,7 @@ class TimeAccumulator:
         self.actual_total += rt.actual
         self.max_total += rt.maximum
         self.min_total += rt.minimum
+        self.downlink_total += rt.downlink
         self.rounds += 1
         self._actual_series.append(self.actual_total)
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.layers import Layer, Parameter
+from repro.nn.layers import Layer
 
 __all__ = [
     "num_parameters",

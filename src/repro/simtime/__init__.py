@@ -1,0 +1,81 @@
+"""Virtual-clock discrete-event scheduling for federated rounds.
+
+The synchronous engine (:mod:`repro.fl.simulation`) runs lock-step rounds:
+the slowest selected client sets the pace. This package adds a deterministic
+*virtual clock* so the simulator can exploit, not just plot, the paper's
+cost model (Eq. 4):
+
+- :mod:`repro.simtime.events` — a discrete-event queue whose ordering is a
+  pure function of (timestamp, insertion order), so event-driven runs are
+  bit-identical across execution backends;
+- :mod:`repro.simtime.profiles` — per-device timing: :class:`ComputeSpec`
+  (seconds per sample), :class:`DeviceProfile` (compute + link draw),
+  :class:`TraceProfile` (trace-driven speeds);
+- :mod:`repro.simtime.protocols` — two event-driven training protocols on
+  top of the queue: :class:`AsyncSimulation` (FedBuff-style buffered
+  aggregation with staleness-weighted updates) and
+  :class:`SemiSyncSimulation` (deadline-based rounds where late updates
+  carry over or drop).
+
+Select a protocol with ``ExperimentConfig(mode="sync"|"semisync"|"async")``
+and build it via :func:`make_simulation`.
+"""
+
+from __future__ import annotations
+
+from repro.simtime.events import ClientSpan, Event, EventQueue, SpanLog
+from repro.simtime.profiles import (
+    ComputeSpec,
+    DeviceProfile,
+    TraceProfile,
+    pipeline_times,
+    sample_device_profiles,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "ClientSpan",
+    "SpanLog",
+    "ComputeSpec",
+    "DeviceProfile",
+    "TraceProfile",
+    "sample_device_profiles",
+    "pipeline_times",
+    "AsyncSimulation",
+    "SemiSyncSimulation",
+    "make_simulation",
+]
+
+
+def __getattr__(name):
+    # The protocols subclass repro.fl.simulation.Simulation, which itself
+    # imports repro.simtime.{events,profiles}; importing them lazily keeps
+    # ``import repro.simtime`` (and therefore ``import repro.fl.simulation``)
+    # acyclic.
+    if name in ("AsyncSimulation", "SemiSyncSimulation"):
+        from repro.simtime import protocols
+
+        return getattr(protocols, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def make_simulation(config):
+    """Build the simulation class selected by ``config.mode``.
+
+    ``"sync"`` returns the lock-step :class:`~repro.fl.simulation.Simulation`;
+    ``"semisync"`` and ``"async"`` return the event-driven protocols. All
+    three share the seeded data/model/link construction, record into the
+    same :class:`~repro.fl.history.History`, and honor the determinism
+    contract (seeded runs bit-identical across execution backends).
+    """
+    from repro.fl.simulation import Simulation
+    from repro.simtime.protocols import AsyncSimulation, SemiSyncSimulation
+
+    if config.mode == "sync":
+        return Simulation(config)
+    if config.mode == "semisync":
+        return SemiSyncSimulation(config)
+    if config.mode == "async":
+        return AsyncSimulation(config)
+    raise ValueError(f"unknown mode {config.mode!r}")

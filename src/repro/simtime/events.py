@@ -1,0 +1,115 @@
+"""The deterministic discrete-event core: a virtual clock's ordered queue.
+
+Determinism contract (extends the :mod:`repro.exec` contract to virtual
+time): event order is a pure function of ``(time, insertion sequence)``.
+Ties at the same virtual timestamp pop in insertion order, and insertion
+order is itself deterministic in a seeded run, so the full event trace —
+and everything derived from it (dispatch order, aggregation membership,
+staleness) — is bit-identical across execution backends.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue", "ClientSpan", "SpanLog"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled occurrence on the virtual clock.
+
+    Ordering compares ``(time, seq)`` only; ``kind``/``cid``/``payload``
+    are cargo. ``seq`` is assigned by the queue at push time.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    cid: int = field(compare=False, default=-1)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, cid: int = -1, payload: Any = None) -> Event:
+        """Schedule ``kind`` at virtual ``time`` and return the event."""
+        if not math.isfinite(time) or time < 0:
+            raise ValueError(f"event time must be finite and >= 0, got {time}")
+        ev = Event(time=float(time), seq=self._seq, kind=kind, cid=int(cid), payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (FIFO within a timestamp)."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """The earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek at an empty EventQueue")
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass(frozen=True)
+class ClientSpan:
+    """One client's contiguous activity interval on the virtual clock."""
+
+    cid: int
+    kind: str  # "train" | "upload"
+    start: float
+    end: float
+    tag: int = -1  # round index (sync/semisync) or model version (async)
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"span end {self.end} < start {self.start}")
+
+
+class SpanLog:
+    """Append-only log of :class:`ClientSpan` — the scheduler's event log.
+
+    The ASCII timeline view (:func:`repro.viz.ascii.ascii_timeline`) renders
+    directly from this; tests compare logs across backends to enforce the
+    virtual-time determinism contract.
+    """
+
+    def __init__(self):
+        self.spans: list[ClientSpan] = []
+
+    def add(self, cid: int, kind: str, start: float, end: float, tag: int = -1) -> ClientSpan:
+        span = ClientSpan(cid=int(cid), kind=kind, start=float(start), end=float(end), tag=int(tag))
+        self.spans.append(span)
+        return span
+
+    def window(self, t0: float, t1: float) -> list[ClientSpan]:
+        """Spans overlapping ``[t0, t1]`` (for a timeline view of that window)."""
+        if t1 < t0:
+            raise ValueError(f"need t0 <= t1, got [{t0}, {t1}]")
+        return [s for s in self.spans if s.end >= t0 and s.start <= t1]
+
+    def for_client(self, cid: int) -> list[ClientSpan]:
+        return [s for s in self.spans if s.cid == cid]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self):
+        return iter(self.spans)

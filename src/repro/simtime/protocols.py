@@ -1,0 +1,495 @@
+"""Event-driven federated protocols: async (FedBuff) and semi-sync rounds.
+
+Both protocols reuse the seeded construction of
+:class:`~repro.fl.simulation.Simulation` (data, partition, model, links,
+compressors, server optimizer) and replace the lock-step round loop with a
+virtual clock:
+
+- a *dispatch* hands a client the current global model and runs its local
+  training immediately through the execution backend (the numerical result
+  does not depend on virtual time, only on the model snapshot);
+- the *virtual cost* of that dispatch — download + compute + upload — is
+  priced from the client's :class:`~repro.simtime.profiles.DeviceProfile`
+  and the paper's Eq. 4 cost model, and an arrival event is scheduled;
+- the server reacts to arrivals: :class:`AsyncSimulation` aggregates every
+  ``buffer_size`` arrivals with staleness-discounted weights (FedBuff),
+  :class:`SemiSyncSimulation` closes each round at a deadline and lets late
+  updates carry over (stale) or drop.
+
+Determinism: dispatch order, arrival order, and aggregation membership are
+pure functions of the config seed (event ties break by insertion order), so
+seeded runs are bit-identical across serial/thread/process backends — the
+same contract :mod:`repro.exec` enforces for the synchronous engine.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import CompressedUpdate, SparseUpdate
+from repro.exec import ClientTask, TaskResult
+from repro.fl.config import ExperimentConfig
+from repro.fl.history import RoundRecord
+from repro.fl.simulation import Simulation
+from repro.network.metrics import RoundTimes
+from repro.simtime.events import EventQueue
+from repro.utils.rng import RngFactory
+
+__all__ = ["AsyncSimulation", "SemiSyncSimulation"]
+
+#: Arrival-inclusion tolerance: an upload finishing exactly at the deadline
+#: (up to float rounding) still makes the round.
+_EPS = 1e-9
+
+
+@dataclass
+class _Pending:
+    """One in-flight (dispatched, not yet aggregated) client update.
+
+    ``result`` may be deferred: the arrival *time* is a pure function of the
+    device profile, so training can run later (batched) as long as it uses
+    the parameters of ``version`` — which the server mutates only at
+    aggregation, after every deferred dispatch of that version is trained.
+    """
+
+    cid: int
+    ratio: float | None
+    version: int  # global-model version the client trained from
+    t_dispatch: float
+    t_arrival: float
+    duration: float  # download + compute + upload
+    upload: float  # the communication (uplink) part alone
+    downlink: float
+    result: TaskResult | None = None
+
+
+class _EventDrivenSimulation(Simulation):
+    """Shared machinery: dispatch pipeline, staleness weighting, aggregation."""
+
+    def __init__(self, config: ExperimentConfig):
+        super().__init__(config)
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.version = 0  # bumps once per aggregation
+        self._untrained: list[_Pending] = []  # dispatched, training deferred
+
+    # ------------------------------------------------------------- dispatch
+
+    def _train_now(self, tasks: list[ClientTask]) -> list[TaskResult]:
+        """Run client tasks through the execution backend as one batch."""
+        return self.backend.run_round(
+            tasks, self.global_params, self.global_states, self._train_spec
+        )
+
+    def _dispatch(
+        self, cid: int, ratio: float | None, t: float, result: TaskResult | None = None
+    ) -> _Pending:
+        """Schedule a dispatch's arrival on the virtual clock.
+
+        With ``result=None`` training is deferred until :meth:`_flush_training`
+        (one backend batch per aggregation window instead of one per dispatch).
+        """
+        down, train_t, up = self._price_dispatch(cid, ratio, t, tag=self.version)
+        duration = down + train_t + up
+        pend = _Pending(
+            cid=cid,
+            ratio=ratio,
+            version=self.version,
+            t_dispatch=t,
+            t_arrival=t + duration,
+            duration=duration,
+            upload=up,
+            downlink=down,
+            result=result,
+        )
+        if result is None:
+            self._untrained.append(pend)
+        self.queue.push(pend.t_arrival, "arrival", cid=cid, payload=pend)
+        return pend
+
+    def _flush_training(self) -> None:
+        """Train every deferred dispatch, batched per aggregation window.
+
+        All deferred dispatches share the current model version (the server
+        only steps at aggregation, and aggregation always flushes first), so
+        training them together from today's ``global_params`` is bit-identical
+        to having trained each at its dispatch instant.
+
+        A fast client can be dispatched twice within one window; the exec
+        backends assume a client appears at most once per ``run_round`` call
+        (the thread pool shards by position, so duplicates would race on the
+        client's shared loader/compressor state). Duplicates are therefore
+        split into sequential waves — unique cids per wave, a client's tasks
+        in dispatch order across waves.
+        """
+        pending, self._untrained = self._untrained, []
+        while pending:
+            wave: list[_Pending] = []
+            seen: set[int] = set()
+            rest: list[_Pending] = []
+            for p in pending:
+                if p.cid in seen:
+                    rest.append(p)
+                else:
+                    seen.add(p.cid)
+                    wave.append(p)
+            tasks = [
+                ClientTask(position=pos, cid=p.cid, ratio=p.ratio)
+                for pos, p in enumerate(wave)
+            ]
+            for p, result in zip(wave, self._train_now(tasks)):
+                p.result = result
+            pending = rest
+
+    # ------------------------------------------------------------ aggregate
+
+    def _contribution_freqs(self, contributions: list[_Pending]) -> np.ndarray:
+        """Data frequencies f_i over the contributors (normalized)."""
+        sizes = np.array(
+            [self.clients[p.cid].num_samples for p in contributions], dtype=np.float64
+        )
+        return sizes / sizes.sum()
+
+    def _staleness_weights(self, contributions: list[_Pending]) -> np.ndarray:
+        """Data-frequency weights discounted by ``(1+s)^-a`` and normalized.
+
+        ``s`` is the model-version lag at aggregation time (0 = trained on
+        the current model); ``a`` is ``config.staleness_exponent`` —
+        FedBuff's ``1/sqrt(1+s)`` at the default 0.5.
+        """
+        freqs = self._contribution_freqs(contributions)
+        lags = np.array([self.version - p.version for p in contributions], dtype=np.float64)
+        w = freqs * (1.0 + lags) ** (-self.config.staleness_exponent)
+        return w / w.sum()
+
+    def _comm_times(
+        self, contributions: list[_Pending], dispatched: list[_Pending]
+    ) -> RoundTimes:
+        """Sec. 5.2 comm semantics on the event-driven protocols.
+
+        Per-client comm = downlink + upload (downlink is *included* in the
+        three headline fields, matching the sync plans and the RoundTimes
+        invariant). ``actual`` is the slowest aggregated transfer;
+        max/min range over this window's dispatches (falling back to the
+        contributors when nothing was dispatched). The window's wall-clock
+        span — which adds compute — lives in ``sim_start``/``sim_end``.
+        """
+        ranged = dispatched or contributions
+        comm = [p.downlink + p.upload for p in ranged]
+        return RoundTimes(
+            actual=max(p.downlink + p.upload for p in contributions),
+            maximum=max(comm),
+            minimum=min(comm),
+            downlink=max(p.downlink for p in ranged),
+        )
+
+    def _apply_aggregate(self, contributions: list[_Pending], weights: np.ndarray) -> tuple[float | None, list[CompressedUpdate]]:
+        """Server update from ``contributions``: masked sparse sum + opt step.
+
+        Returns (OPWA singleton fraction diagnostic, the updates used).
+        Mirrors the synchronous round's aggregation (Alg. 1 lines 14–18)
+        including persistent-buffer (BN) averaging.
+        """
+        updates = [p.result.update for p in contributions]
+        self.last_round_updates = updates
+        singleton = self._aggregate_updates(
+            updates, weights, getattr(self.algorithm, "use_opwa", False)
+        )
+        self._average_states(
+            self._contribution_freqs(contributions),
+            [p.result.state_arrays for p in contributions],
+        )
+        self.version += 1
+        return singleton, updates
+
+    def _record(
+        self,
+        *,
+        contributions: list[_Pending],
+        weights: np.ndarray,
+        updates: list[CompressedUpdate],
+        singleton: float | None,
+        times: RoundTimes,
+        sim_start: float,
+        sim_end: float,
+        selected: tuple[int, ...],
+    ) -> RoundRecord:
+        """Build/append the aggregation's record (evaluation on cadence)."""
+        lags = [self.version - 1 - p.version for p in contributions]
+        record = RoundRecord(
+            round_index=self.round_index,
+            selected=selected,
+            train_loss=float(np.mean([p.result.mean_loss for p in contributions])),
+            test_accuracy=self.evaluate() if self._should_evaluate() else None,
+            times=times,
+            ratios=tuple(
+                float(u.density) if isinstance(u, SparseUpdate) else 1.0 for u in updates
+            ),
+            weights=tuple(float(w) for w in weights),
+            singleton_fraction=singleton,
+            train_seconds=sum(p.result.train_seconds for p in contributions),
+            compress_seconds=sum(p.result.compress_seconds for p in contributions),
+            sim_start=sim_start,
+            sim_end=sim_end,
+            mean_staleness=float(np.mean(lags)) if lags else 0.0,
+        )
+        self.history.append(record)
+        self.round_index += 1
+        self.sim_clock = sim_end
+        return record
+
+    def _uniform_ratio(self) -> float | None:
+        """Per-dispatch compression ratio: uniform CR* when the algorithm
+        compresses, dense otherwise.
+
+        BCRS's per-round ratio *scheduling* assumes a synchronized benchmark
+        window and does not transfer to event-driven dispatch; under
+        ``mode="async"`` a BCRS config degrades to uniform Top-K (OPWA still
+        applies at aggregation).
+        """
+        if self.algorithm.compressor_name is None:
+            return None
+        return float(self.config.compression_ratio)
+
+
+class AsyncSimulation(_EventDrivenSimulation):
+    """FedBuff-style asynchronous FL on the virtual clock.
+
+    ``M = config.async_concurrency`` clients are always in flight; each
+    arrival is buffered and its client's slot immediately refilled with a
+    uniformly-sampled idle client. Every ``K = config.async_buffer_size``
+    arrivals the server aggregates the buffer with staleness-discounted
+    weights, bumps the model version, and records one
+    :class:`~repro.fl.history.RoundRecord` (so ``config.rounds`` counts
+    aggregations). No client ever waits on a straggler: fast devices cycle
+    many times per slow-device upload, which is exactly the regime the
+    paper's Fig. 10 time-to-accuracy curves motivate.
+    """
+
+    def __init__(self, config: ExperimentConfig):
+        super().__init__(config)
+        if config.time_varying_links:
+            # Link drift is a per-round process; async has no rounds to pin
+            # it to. Refuse rather than silently freeze the links.
+            raise ValueError(
+                "time_varying_links is not supported in async mode — drift "
+                "is defined per synchronized round; use mode='sync' or "
+                "'semisync'"
+            )
+        if config.algorithm in ("bcrs", "bcrs_opwa", "deadline_topk"):
+            # These algorithms' plan-time scheduling (BCRS ratio windows,
+            # deadline straggler drops) assumes synchronized rounds; under
+            # async dispatch they degrade to uniform-ratio Top-K. Say so
+            # instead of letting the history silently mislabel the run.
+            warnings.warn(
+                f"algorithm {config.algorithm!r} under mode='async' runs "
+                "uniform Top-K at compression_ratio (per-round scheduling "
+                "does not transfer to event-driven dispatch"
+                + ("; OPWA still applies)" if config.algorithm == "bcrs_opwa" else ")"),
+                stacklevel=3,
+            )
+        self._rng = RngFactory(config.seed).stream("async-dispatch")
+        self._buffer: list[_Pending] = []
+        self._in_flight: set[int] = set()
+        self._last_agg = 0.0
+        self._primed = False
+
+    def _prime(self) -> None:
+        """First call only: start M distinct clients, in id order, at the
+        current clock (0 on a fresh run, the restored clock after a
+        checkpoint load)."""
+        self._primed = True
+        self._last_agg = self.now
+        first = np.sort(
+            self._rng.choice(
+                self.config.num_clients, size=self.config.async_concurrency, replace=False
+            )
+        )
+        for cid in first:
+            self._launch(int(cid), self.now)
+
+    def _launch(self, cid: int, t: float) -> None:
+        # Training is deferred: the whole aggregation window trains as one
+        # backend batch in _flush_training (arrival times need only the
+        # device profile), so parallel backends see real batches.
+        self._dispatch(cid, self._uniform_ratio(), t)
+        self._in_flight.add(cid)
+
+    def run_round(self) -> RoundRecord:
+        """Advance virtual time until K arrivals, then aggregate them."""
+        if not self._primed:
+            self._prime()
+        K = self.config.async_buffer_size
+        while len(self._buffer) < K:
+            ev = self.queue.pop()
+            self.now = ev.time
+            pend: _Pending = ev.payload
+            self._in_flight.discard(pend.cid)
+            self._buffer.append(pend)
+            # Refill the slot: uniform over idle clients (the arrived client
+            # is idle again, so the pool is never empty).
+            idle = [c for c in range(self.config.num_clients) if c not in self._in_flight]
+            self._launch(idle[int(self._rng.integers(len(idle)))], self.now)
+
+        self._flush_training()  # everything dispatched this window, batched
+        contributions, self._buffer = self._buffer, []
+        weights = self._staleness_weights(contributions)
+        singleton, updates = self._apply_aggregate(contributions, weights)
+        times = self._comm_times(contributions, contributions)
+        record = self._record(
+            contributions=contributions,
+            weights=weights,
+            updates=updates,
+            singleton=singleton,
+            times=times,
+            sim_start=self._last_agg,
+            sim_end=self.now,
+            selected=tuple(p.cid for p in contributions),
+        )
+        self._last_agg = self.now
+        return record
+
+
+class SemiSyncSimulation(_EventDrivenSimulation):
+    """Deadline-based semi-synchronous rounds on the virtual clock.
+
+    Each round dispatches up to ``clients_per_round`` idle clients and
+    closes at ``deadline_s`` virtual seconds (or, when unset, at the
+    ``deadline_quantile`` of the dispatched clients' predicted finish
+    times). Whatever arrived by the deadline is aggregated; late updates
+    either **carry over** — the device keeps uploading and its (stale)
+    update joins the round in whose window it lands, discounted by
+    ``(1+s)^-a`` — or **drop** (``late_policy``). A round that would
+    aggregate nothing extends to the earliest outstanding arrival instead,
+    so progress is guaranteed.
+    """
+
+    def __init__(self, config: ExperimentConfig):
+        super().__init__(config)
+        self._rng = RngFactory(config.seed).stream("semisync-sampler")
+        self._busy: set[int] = set()  # carryover clients still uploading
+
+    def _select(self) -> list[int]:
+        idle = [c for c in range(self.config.num_clients) if c not in self._busy]
+        k = min(self.config.clients_per_round, len(idle))
+        if k == 0:
+            return []
+        chosen = self._rng.choice(len(idle), size=k, replace=False)
+        return sorted(int(idle[i]) for i in chosen)
+
+    def run_round(self) -> RoundRecord:
+        cfg = self.config
+        t0 = self.now
+        selected = self._select()
+
+        if self._varying is not None:
+            self.links = [tv.step() for tv in self._varying]
+
+        # Plan + train the round's fresh dispatches in one backend batch
+        # (selection order = position order, per the exec contract).
+        own: list[_Pending] = []
+        plan_weights: dict[int, float] = {}
+        if selected:
+            sel_links = [self.links[i] for i in selected]
+            sizes = np.array(
+                [self.clients[i].num_samples for i in selected], dtype=np.float64
+            )
+            freqs = sizes / sizes.sum()
+            plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)
+            tasks = [
+                ClientTask(
+                    position=pos,
+                    cid=cid,
+                    ratio=None if plan.ratios is None else float(plan.ratios[pos]),
+                )
+                for pos, cid in enumerate(selected)
+            ]
+            results = self._train_now(tasks)
+            for pos, (cid, res) in enumerate(zip(selected, results)):
+                pend = self._dispatch(
+                    cid, None if plan.ratios is None else float(plan.ratios[pos]), t0, res
+                )
+                own.append(pend)
+                plan_weights[cid] = float(plan.weights[pos])
+
+        # Deadline: fixed, or the quantile of this round's predicted finishes.
+        if cfg.deadline_s is not None:
+            deadline = float(cfg.deadline_s)
+        elif own:
+            deadline = float(
+                np.quantile([p.duration for p in own], cfg.deadline_quantile)
+            )
+        else:
+            deadline = 0.0  # no dispatches: the round exists only to drain arrivals
+        t_end = t0 + deadline
+
+        if not self.queue:
+            raise RuntimeError("semi-sync round has no dispatches and no pending arrivals")
+        # Nothing would land in the window → extend to the earliest arrival.
+        if self.queue.peek().time > t_end + _EPS:
+            t_end = self.queue.peek().time
+
+        contributions: list[_Pending] = []
+        while self.queue and self.queue.peek().time <= t_end + _EPS:
+            pend = self.queue.pop().payload
+            self._busy.discard(pend.cid)
+            contributions.append(pend)
+        own_arrived = {p.cid for p in contributions if p.version == self.version}
+
+        # Late updates: carry over (device keeps uploading; arrival event
+        # stays queued and the client stays busy) or drop (abandoned at the
+        # deadline; the queued arrival is discarded wholesale below).
+        late = [p for p in own if p.cid not in own_arrived]
+        if cfg.late_policy == "carryover":
+            self._busy.update(p.cid for p in late)
+        else:
+            drop = {id(p) for p in late}
+            keep = EventQueue()
+            while self.queue:
+                ev = self.queue.pop()
+                if id(ev.payload) not in drop:
+                    keep.push(ev.time, ev.kind, cid=ev.cid, payload=ev.payload)
+            self.queue = keep
+
+        # Weights on a common scale: the staleness-discounted data
+        # frequencies (normalized over the contributors) decide how much
+        # mass the fresh arrivals get versus the carryovers; within the
+        # fresh subset, the plan's coefficients (Eq. 6 adjustments)
+        # redistribute that mass. Mixing raw plan weights (normalized over
+        # all *dispatched* clients) with stale_w directly would let a lone
+        # carryover outweigh every on-time update.
+        stale_w = self._staleness_weights(contributions)
+        fresh = [j for j, p in enumerate(contributions) if p.version == self.version]
+        w = stale_w.copy()
+        if fresh:
+            pw = np.array(
+                [plan_weights[contributions[j].cid] for j in fresh], dtype=np.float64
+            )
+            # The plan's zeros are exclusions (deadline_topk drops
+            # stragglers) and must stay zero here too — including a
+            # plan-dropped update at frequency weight would make sync and
+            # semisync disagree on aggregation *membership*, not just
+            # timing. All-zero fresh arrivals cede the round to carryovers.
+            w[fresh] = (
+                stale_w[fresh].sum() * pw / pw.sum() if pw.sum() > 0 else 0.0
+            )
+        if w.sum() == 0:  # every contributor excluded and no carryovers
+            w = stale_w  # degenerate fallback, mirroring the plan's own
+        weights = w / w.sum()
+        singleton, updates = self._apply_aggregate(contributions, weights)
+
+        times = self._comm_times(contributions, own)
+        self.now = t_end
+        return self._record(
+            contributions=contributions,
+            weights=weights,
+            updates=updates,
+            singleton=singleton,
+            times=times,
+            sim_start=t0,
+            sim_end=t_end,
+            selected=tuple(selected),
+        )

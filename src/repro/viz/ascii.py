@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ascii_plot", "ascii_bars"]
+__all__ = ["ascii_plot", "ascii_bars", "ascii_timeline"]
 
 _MARKERS = "abcdefghijklmnopqrstuvwxyz"
 
@@ -68,6 +68,58 @@ def ascii_plot(
     lines.append(" " * pad + f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}")
     lines.append(f"{y_label} vs {x_label}")
     lines.extend(legend)
+    return "\n".join(lines)
+
+
+#: Timeline glyph per span kind; later spans overwrite earlier on collision.
+_SPAN_GLYPHS = {"train": "█", "upload": "░"}
+
+
+def ascii_timeline(
+    spans,
+    *,
+    t0: float | None = None,
+    t1: float | None = None,
+    width: int = 72,
+) -> str:
+    """Per-client activity timeline from the scheduler's span log.
+
+    ``spans`` is an iterable of :class:`repro.simtime.events.ClientSpan`
+    (or anything with ``cid``/``kind``/``start``/``end``); one row per
+    client, ``█`` while training, ``░`` while uploading — making stragglers,
+    async re-dispatch cadence, and semi-sync deadline cuts visible at a
+    glance. ``[t0, t1]`` crops the window (default: the spans' extent).
+    """
+    spans = list(spans)
+    if not spans:
+        raise ValueError("need at least one span")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    lo = min(s.start for s in spans) if t0 is None else float(t0)
+    hi = max(s.end for s in spans) if t1 is None else float(t1)
+    if hi <= lo:
+        hi = lo + 1.0
+
+    cids = sorted({s.cid for s in spans})
+    scale = width / (hi - lo)
+    rows = {cid: [" "] * width for cid in cids}
+    for s in spans:
+        glyph = _SPAN_GLYPHS.get(s.kind, "?")
+        if s.end < lo or s.start > hi:
+            continue
+        a = max(int((max(s.start, lo) - lo) * scale), 0)
+        b = min(int(np.ceil((min(s.end, hi) - lo) * scale)), width)
+        if s.end > s.start and b <= a:  # sub-cell span: still show one cell
+            b = min(a + 1, width)
+        for c in range(a, b):
+            rows[s.cid][c] = glyph
+    label_w = len(f"c{cids[-1]}")
+    lines = [f"c{cid}".rjust(label_w) + " │" + "".join(row) + "│" for cid, row in rows.items()]
+    lines.append(" " * label_w + " └" + "─" * width)
+    lines.append(
+        " " * (label_w + 2) + f"{lo:.3g}s".ljust(width - 8) + f"{hi:.3g}s"
+    )
+    lines.append("█ train   ░ upload")
     return "\n".join(lines)
 
 

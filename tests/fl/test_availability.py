@@ -32,13 +32,16 @@ class TestMarkov:
         av = MarkovAvailability(5, seed=0)
         assert av.state.all()
 
-    def test_stationary_rate(self):
+    @pytest.mark.parametrize(
+        "p_on,p_off",
+        [(0.9, 0.7), (0.95, 0.95), (0.5, 0.5), (0.8, 0.3)],
+    )
+    def test_stationary_rate_matches_closed_form(self, p_on, p_off):
         """Long-run online fraction approaches p_off→on / (p_on→off + p_off→on)."""
-        p_on, p_off = 0.9, 0.7
         av = MarkovAvailability(500, p_stay_on=p_on, p_stay_off=p_off, seed=0)
-        for _ in range(50):  # burn-in
+        for _ in range(100):  # burn-in past the all-online start state
             av.step()
-        rate = np.mean([av.step().mean() for _ in range(200)])
+        rate = np.mean([av.step().mean() for _ in range(300)])
         expected = (1 - p_off) / ((1 - p_on) + (1 - p_off))
         assert rate == pytest.approx(expected, abs=0.04)
 
@@ -83,3 +86,37 @@ class TestSampler:
         av = BernoulliAvailability(4, 0.5)
         with pytest.raises(ValueError):
             AvailabilityAwareSampler(av, 0)
+        with pytest.raises(ValueError):
+            AvailabilityAwareSampler(av, 2, on_empty="retry-forever")
+
+
+class TestZeroAvailableRound:
+    """A round with zero available clients is well-defined, not an exception."""
+
+    def test_skip_returns_empty_round(self):
+        av = BernoulliAvailability(8, 0.0, seed=0)  # nobody, ever
+        sampler = AvailabilityAwareSampler(av, 3, seed=0, on_empty="skip")
+        chosen = sampler.sample()
+        assert chosen.size == 0
+        assert chosen.dtype == np.int64  # well-typed for downstream indexing
+
+    def test_skip_consumes_one_availability_step(self):
+        av = BernoulliAvailability(8, 0.0, seed=0)
+        sampler = AvailabilityAwareSampler(av, 3, seed=0, on_empty="skip")
+        twin = BernoulliAvailability(8, 0.0, seed=0)
+        sampler.sample()
+        twin.step()
+        # Both processes advanced exactly once: their RNGs stay in lockstep.
+        assert np.array_equal(av.rng.random(4), twin.rng.random(4))
+
+    def test_skip_recovers_when_clients_return(self):
+        av = MarkovAvailability(6, p_stay_on=0.0, p_stay_off=0.0, seed=0)  # alternates
+        sampler = AvailabilityAwareSampler(av, 2, seed=0, on_empty="skip")
+        sizes = [sampler.sample().size for _ in range(6)]
+        assert 0 in sizes and 2 in sizes  # skipped rounds and full rounds
+
+    def test_wait_raises_only_after_max_waits(self):
+        av = BernoulliAvailability(4, 0.0, seed=0)
+        sampler = AvailabilityAwareSampler(av, 2, seed=0, max_waits=10)
+        with pytest.raises(RuntimeError, match="10 waits"):
+            sampler.sample()

@@ -7,7 +7,7 @@ from repro.fl.history import History, RoundRecord
 from repro.network.metrics import RoundTimes
 
 
-def record(i, acc=None, actual=1.0, maximum=2.0, minimum=0.5):
+def record(i, acc=None, actual=1.0, maximum=2.0, minimum=0.5, sim_start=None, sim_end=None):
     return RoundRecord(
         round_index=i,
         selected=(0, 1),
@@ -19,6 +19,8 @@ def record(i, acc=None, actual=1.0, maximum=2.0, minimum=0.5):
         singleton_fraction=0.5,
         train_seconds=0.01,
         compress_seconds=0.001,
+        sim_start=sim_start,
+        sim_end=sim_end,
     )
 
 
@@ -55,6 +57,30 @@ class TestSeries:
     def test_final_raises_when_empty(self):
         with pytest.raises(ValueError):
             History().final_accuracy()
+
+
+class TestSimtimeSeries:
+    def test_uses_sim_spans_when_present(self):
+        h = History()
+        h.append(record(0, acc=0.1, sim_start=0.0, sim_end=4.0))
+        h.append(record(1, acc=0.3, sim_start=4.0, sim_end=9.0))
+        t, accs = h.accuracy_vs_simtime()
+        np.testing.assert_allclose(t, [4.0, 9.0])
+        np.testing.assert_allclose(accs, [0.1, 0.3])
+
+    def test_falls_back_to_comm_axis_without_spans(self):
+        h = History()
+        h.append(record(0, acc=0.1, actual=1.0))
+        h.append(record(1, acc=0.2, actual=2.0))
+        t, _ = h.accuracy_vs_simtime()
+        np.testing.assert_allclose(t, [1.0, 3.0])  # cumulative comm actual
+
+    def test_simtime_to_accuracy(self):
+        h = History()
+        h.append(record(0, acc=0.1, sim_start=0.0, sim_end=4.0))
+        h.append(record(1, acc=0.3, sim_start=4.0, sim_end=9.0))
+        assert h.simtime_to_accuracy(0.2) == pytest.approx(9.0)
+        assert h.simtime_to_accuracy(0.9) is None
 
 
 class TestTimeToAccuracy:

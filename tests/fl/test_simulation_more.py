@@ -1,7 +1,6 @@
 """Additional engine coverage: volume override, evaluation batching,
 realized-vs-scheduled ratios, straggler accounting across algorithms."""
 
-import numpy as np
 import pytest
 
 from repro.fl.config import ExperimentConfig

@@ -51,11 +51,37 @@ class TestHistoryIO:
         export_curves_csv(sim.history, p)
         with open(p) as f:
             rows = list(csv.reader(f))
-        assert rows[0] == ["round", "cumulative_actual_time_s", "test_accuracy"]
+        assert rows[0] == ["round", "cumulative_actual_time_s", "virtual_time_s", "test_accuracy"]
         assert len(rows) == 1 + len(sim.history)
-        # Cumulative time column is non-decreasing.
+        # Both time columns are non-decreasing.
         times = [float(r[1]) for r in rows[1:]]
         assert times == sorted(times)
+        virt = [float(r[2]) for r in rows[1:]]
+        assert virt == sorted(virt)
+
+    def test_sim_span_fields_roundtrip(self, sim, tmp_path):
+        p = tmp_path / "h.json"
+        save_history(sim.history, p)
+        back = load_history(p)
+        for a, b in zip(sim.history.records, back.records):
+            assert a.sim_start == b.sim_start
+            assert a.sim_end == b.sim_end
+            assert a.mean_staleness == b.mean_staleness
+            assert a.times.downlink == b.times.downlink
+
+    def test_pre_scheduler_files_load(self, sim, tmp_path):
+        """JSON written before the virtual clock existed still loads."""
+        data = history_to_dict(sim.history)
+        for rec in data["records"]:
+            del rec["sim_start"], rec["sim_end"], rec["mean_staleness"]
+            del rec["times"]["downlink"]
+        back = history_from_dict(data)
+        assert back.records[0].sim_start is None
+        assert back.records[0].times.downlink == 0.0
+        # accuracy_vs_simtime falls back to the comm axis on old files.
+        t, acc = back.accuracy_vs_simtime()
+        t2, acc2 = back.accuracy_vs_time()
+        np.testing.assert_array_equal(t, t2)
 
 
 class TestCheckpoint:

@@ -1,6 +1,5 @@
 """Tests for the Eq. 4 / Alg. 2 cost model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -8,6 +7,7 @@ from hypothesis import strategies as st
 from repro.network.cost import (
     SPARSE_VOLUME_FACTOR,
     LinkSpec,
+    downlink_time,
     model_bits,
     sparse_uplink_time,
     uplink_time,
@@ -54,6 +54,36 @@ class TestUplinkTime:
         assert uplink_time(link, vol) <= uplink_time(link, vol * 2)
         faster = LinkSpec(bandwidth_bps=bw * 2, latency_s=lat)
         assert uplink_time(faster, vol) <= uplink_time(link, vol)
+
+
+class TestDownlinkTime:
+    def test_symmetric_factor_one_equals_uplink(self):
+        """At factor 1 the broadcast costs exactly the dense uplink (Eq. 4)."""
+        link = LinkSpec(bandwidth_bps=1e6, latency_s=0.1)
+        assert downlink_time(link, 1e6) == pytest.approx(uplink_time(link, 1e6))
+
+    def test_asymmetric_bandwidth_scales_volume_term_only(self):
+        """10× downlink bandwidth divides the V/B term; latency is unchanged."""
+        link = LinkSpec(bandwidth_bps=1e6, latency_s=0.1)
+        t = downlink_time(link, 1e6, bandwidth_factor=10.0)
+        assert t == pytest.approx(0.1 + 1e6 / 1e7)
+
+    def test_empty_broadcast_costs_latency(self):
+        link = LinkSpec(bandwidth_bps=1e6, latency_s=0.07)
+        assert downlink_time(link, 0.0, bandwidth_factor=10.0) == pytest.approx(0.07)
+
+    def test_validation(self):
+        link = LinkSpec(bandwidth_bps=1e6, latency_s=0.1)
+        with pytest.raises(ValueError):
+            downlink_time(link, -1.0)
+        with pytest.raises(ValueError):
+            downlink_time(link, 1e6, bandwidth_factor=0.0)
+
+    @given(st.floats(1.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_more_downlink_bandwidth_never_slower(self, factor):
+        link = LinkSpec(bandwidth_bps=1e6, latency_s=0.05)
+        assert downlink_time(link, 1e7, bandwidth_factor=factor) <= downlink_time(link, 1e7)
 
 
 class TestSparseUplinkTime:

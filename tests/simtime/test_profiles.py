@@ -1,0 +1,113 @@
+"""Tests for device timing profiles and dispatch pricing."""
+
+import numpy as np
+import pytest
+
+from repro.network.cost import LinkSpec, sparse_uplink_time, uplink_time
+from repro.simtime.profiles import (
+    ComputeSpec,
+    DeviceProfile,
+    TraceProfile,
+    pipeline_times,
+    sample_device_profiles,
+)
+
+LINK = LinkSpec(bandwidth_bps=1e6, latency_s=0.1)
+
+
+class TestComputeSpec:
+    def test_linear_in_samples_and_epochs(self):
+        spec = ComputeSpec(s_per_sample=0.01, overhead_s=0.5)
+        assert spec.train_time(100, 2) == pytest.approx(0.5 + 0.01 * 200)
+
+    def test_zero_work_costs_overhead(self):
+        assert ComputeSpec(0.01, overhead_s=0.3).train_time(0, 1) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeSpec(s_per_sample=0.0)
+        with pytest.raises(ValueError):
+            ComputeSpec(0.01).train_time(-1, 1)
+
+
+class TestTraceProfile:
+    def test_cycles_through_trace(self):
+        tp = TraceProfile(ComputeSpec(0.01), trace=(1.0, 3.0))
+        t1 = tp.train_time(100, 1)
+        t2 = tp.train_time(100, 1)
+        t3 = tp.train_time(100, 1)
+        assert t2 == pytest.approx(3 * t1)
+        assert t3 == pytest.approx(t1)  # wrapped around
+
+    def test_substitutes_for_compute_spec_in_profile(self):
+        dev = DeviceProfile(cid=0, compute=TraceProfile(ComputeSpec(0.01), (2.0,)), link=LINK)
+        assert dev.train_time(50, 1) == pytest.approx(0.01 * 2.0 * 50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceProfile(ComputeSpec(0.01), trace=())
+        with pytest.raises(ValueError):
+            TraceProfile(ComputeSpec(0.01), trace=(1.0, 0.0))
+
+
+class TestDeviceProfile:
+    def test_upload_dense_and_sparse(self):
+        dev = DeviceProfile(cid=0, compute=ComputeSpec(0.01), link=LINK)
+        assert dev.upload_time(1e6, None) == pytest.approx(uplink_time(LINK, 1e6))
+        assert dev.upload_time(1e6, 0.1) == pytest.approx(sparse_uplink_time(LINK, 1e6, 0.1))
+
+    def test_link_override_prices_drifted_link(self):
+        dev = DeviceProfile(cid=0, compute=ComputeSpec(0.01), link=LINK)
+        fast = LinkSpec(bandwidth_bps=4e6, latency_s=0.1)
+        assert dev.upload_time(1e6, None, link=fast) < dev.upload_time(1e6, None)
+
+    def test_download_uses_bandwidth_factor(self):
+        dev = DeviceProfile(cid=0, compute=ComputeSpec(0.01), link=LINK)
+        d1 = dev.download_time(1e6, bandwidth_factor=1.0)
+        d10 = dev.download_time(1e6, bandwidth_factor=10.0)
+        assert d10 < d1
+        assert d10 == pytest.approx(0.1 + 1e6 / 1e7)
+
+
+class TestSampleDeviceProfiles:
+    def test_deterministic_in_seed(self):
+        links = [LINK] * 8
+        a = sample_device_profiles(links, median_s_per_sample=0.01, heterogeneity=0.5, seed=3)
+        b = sample_device_profiles(links, median_s_per_sample=0.01, heterogeneity=0.5, seed=3)
+        assert [p.compute.s_per_sample for p in a] == [p.compute.s_per_sample for p in b]
+
+    def test_zero_heterogeneity_is_uniform(self):
+        profs = sample_device_profiles(
+            [LINK] * 5, median_s_per_sample=0.01, heterogeneity=0.0, seed=0
+        )
+        assert all(p.compute.s_per_sample == pytest.approx(0.01) for p in profs)
+
+    def test_heterogeneity_spreads_speeds(self):
+        profs = sample_device_profiles(
+            [LINK] * 200, median_s_per_sample=0.01, heterogeneity=0.5, seed=0
+        )
+        speeds = np.array([p.compute.s_per_sample for p in profs])
+        assert speeds.max() / speeds.min() > 3.0
+        # Lognormal around the median: roughly half the fleet on each side.
+        frac_above = (speeds > 0.01).mean()
+        assert 0.35 < frac_above < 0.65
+
+
+class TestPipelineTimes:
+    def test_stages_compose(self):
+        dev = DeviceProfile(cid=0, compute=ComputeSpec(0.01), link=LINK)
+        down, train, up = pipeline_times(
+            dev, volume_bits=1e6, ratio=0.1, num_samples=100, epochs=1,
+            include_downlink=True, downlink_factor=10.0,
+        )
+        assert down == pytest.approx(dev.download_time(1e6, bandwidth_factor=10.0))
+        assert train == pytest.approx(1.0)
+        assert up == pytest.approx(sparse_uplink_time(LINK, 1e6, 0.1))
+
+    def test_downlink_gated(self):
+        dev = DeviceProfile(cid=0, compute=ComputeSpec(0.01), link=LINK)
+        down, _, _ = pipeline_times(
+            dev, volume_bits=1e6, ratio=None, num_samples=10, epochs=1,
+            include_downlink=False, downlink_factor=10.0,
+        )
+        assert down == 0.0

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.viz.ascii import ascii_bars, ascii_plot
+from repro.simtime.events import ClientSpan, SpanLog
+from repro.viz.ascii import ascii_bars, ascii_plot, ascii_timeline
 
 
 class TestAsciiPlot:
@@ -39,6 +40,65 @@ class TestAsciiPlot:
     def test_axis_labels_shown(self):
         out = ascii_plot({"s": (np.arange(3), np.arange(3))}, x_label="round", y_label="acc")
         assert "acc vs round" in out
+
+
+class TestAsciiTimeline:
+    @staticmethod
+    def spans():
+        return [
+            ClientSpan(cid=0, kind="train", start=0.0, end=4.0),
+            ClientSpan(cid=0, kind="upload", start=4.0, end=10.0),
+            ClientSpan(cid=2, kind="train", start=0.0, end=1.0),
+            ClientSpan(cid=2, kind="upload", start=1.0, end=2.0),
+        ]
+
+    def test_one_row_per_client_with_glyphs(self):
+        out = ascii_timeline(self.spans(), width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("c0")
+        assert lines[1].startswith("c2")
+        assert "█" in lines[0] and "░" in lines[0]
+        assert "█ train" in out and "░ upload" in out
+
+    def test_proportions_roughly_match_durations(self):
+        out = ascii_timeline(self.spans(), width=20)
+        row0 = out.splitlines()[0]
+        # c0 trains 4s of a 10s window on 20 cells ⇒ ~8 train cells, ~12 upload.
+        assert 6 <= row0.count("█") <= 10
+        assert 10 <= row0.count("░") <= 14
+        # c2 finished at t=2: nothing drawn in the right half of its row.
+        row2 = out.splitlines()[1]
+        assert set(row2[row2.index("│") + 11 : row2.rindex("│")]) <= {" "}
+
+    def test_window_crop(self):
+        out = ascii_timeline(self.spans(), t0=0.0, t1=2.0, width=20)
+        # Window ends at 2s: c0 is still training (no upload glyph visible).
+        row0 = out.splitlines()[0]
+        assert "░" not in row0
+
+    def test_accepts_span_log(self):
+        log = SpanLog()
+        log.add(1, "train", 0.0, 1.0)
+        out = ascii_timeline(log, width=12)
+        assert out.splitlines()[0].startswith("c1")
+
+    def test_sub_cell_span_still_visible(self):
+        spans = [
+            ClientSpan(cid=0, kind="train", start=0.0, end=0.001),
+            ClientSpan(cid=1, kind="train", start=0.0, end=100.0),
+        ]
+        out = ascii_timeline(spans, width=20)
+        assert "█" in out.splitlines()[0]
+
+    def test_axis_labels_show_window(self):
+        out = ascii_timeline(self.spans(), width=20)
+        assert "0s" in out and "10s" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_timeline([])
+        with pytest.raises(ValueError):
+            ascii_timeline(self.spans(), width=5)
 
 
 class TestAsciiBars:
