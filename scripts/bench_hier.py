@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Benchmark the hierarchical protocol: throughput + virtual
+time-to-target-accuracy vs. the edge-tier width, written to
+``BENCH_hier.json``.
+
+Runs one seeded config per ``num_edges`` value (default 1, 4, 16 over a
+32-client federation — 1 edge with the default free backhaul is the flat
+baseline by the degenerate-equivalence contract) and measures
+
+- ``rounds_per_sec``: wall-clock simulator throughput, and
+- ``virtual_time_to_target``: when the topology first reached the target
+  accuracy on the virtual clock — what widening the edge tier buys or
+  costs once backhaul transfers are priced,
+
+so the hierarchy's perf trajectory is tracked by a CI artifact alongside
+``bench_modes.py``. Usage::
+
+    PYTHONPATH=src python scripts/bench_hier.py [--rounds N] [--edges 1,4,16]
+        [--target-acc A] [--backhaul-mbps M] [--backend serial|thread|process]
+        [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.presets import bench_config
+from repro.fl.config import BACKENDS
+from repro.simtime import make_simulation
+
+
+def bench_edges(base, num_edges: int, target: float) -> dict:
+    cfg = base.with_(mode="hier", num_edges=num_edges)
+    t0 = time.perf_counter()
+    with make_simulation(cfg) as sim:
+        history = sim.run()
+    wall = time.perf_counter() - t0
+    backhaul = [
+        max(e.backhaul_s for e in r.edge_breakdown)
+        for r in history.records
+        if r.edge_breakdown
+    ]
+    return {
+        "num_edges": num_edges,
+        "rounds": len(history),
+        "wall_seconds": round(wall, 3),
+        "rounds_per_sec": round(len(history) / wall, 3),
+        "final_accuracy": round(history.final_accuracy(), 4),
+        "best_accuracy": round(history.best_accuracy(), 4),
+        "virtual_time_total": round(history.records[-1].sim_end, 3),
+        "virtual_time_to_target": (
+            None
+            if (t := history.simtime_to_accuracy(target)) is None
+            else round(t, 3)
+        ),
+        "mean_backhaul_s": round(sum(backhaul) / len(backhaul), 4) if backhaul else 0.0,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=12)
+    parser.add_argument("--edges", default="1,4,16")
+    parser.add_argument("--num-clients", type=int, default=32)
+    parser.add_argument("--target-acc", type=float, default=0.25)
+    parser.add_argument("--edge-rounds", type=int, default=1)
+    parser.add_argument("--backhaul-mbps", type=float, default=100.0)
+    parser.add_argument("--backhaul-latency", type=float, default=0.01)
+    parser.add_argument("--backend", default="serial", choices=BACKENDS)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_hier.json")
+    args = parser.parse_args()
+
+    edge_counts = [int(v) for v in args.edges.split(",") if v.strip()]
+    base = bench_config(
+        "cifar10",
+        "bcrs_opwa",
+        compression_ratio=0.1,
+        rounds=args.rounds,
+        num_clients=args.num_clients,
+        seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+        edge_rounds=args.edge_rounds,
+        backhaul_bandwidth_mbps=args.backhaul_mbps,
+        backhaul_latency_s=args.backhaul_latency,
+    )
+    results = [bench_edges(base, e, args.target_acc) for e in edge_counts]
+    payload = {
+        "config": {
+            "dataset": base.dataset,
+            "algorithm": base.algorithm,
+            "rounds": base.rounds,
+            "num_clients": base.num_clients,
+            "edge_rounds": base.edge_rounds,
+            "backhaul_bandwidth_mbps": base.backhaul_bandwidth_mbps,
+            "backhaul_latency_s": base.backhaul_latency_s,
+            "compression_ratio": base.compression_ratio,
+            "target_accuracy": args.target_acc,
+            "backend": base.backend,
+            "seed": base.seed,
+        },
+        "edge_sweep": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    for r in results:
+        print(
+            f"edges={r['num_edges']:>3}: {r['rounds_per_sec']:6.2f} rounds/s wall, "
+            f"virtual {r['virtual_time_total']:8.1f}s total, "
+            f"backhaul {r['mean_backhaul_s']:.3f}s/round, "
+            f"to acc>={args.target_acc:g}: {r['virtual_time_to_target']}"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,8 @@ import time
 from pathlib import Path
 
 from repro.experiments.presets import bench_config
-from repro.fl.config import BACKENDS, MODES
+from repro.experiments.runner import PROTOCOL_RACE_MODES
+from repro.fl.config import BACKENDS
 from repro.simtime import make_simulation
 
 
@@ -74,7 +75,7 @@ def main() -> None:
         backend=args.backend,
         workers=args.workers,
     )
-    results = [bench_mode(base, mode, args.target_acc) for mode in MODES]
+    results = [bench_mode(base, mode, args.target_acc) for mode in PROTOCOL_RACE_MODES]
     payload = {
         "config": {
             "dataset": base.dataset,

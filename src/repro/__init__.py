@@ -9,6 +9,8 @@ Subpackages
 - ``repro.compression``: Top-K / Random-K / threshold / quantization / EF.
 - ``repro.core``: the paper's contribution — BCRS scheduling and OPWA.
 - ``repro.fl``: the federated simulation engine (Algorithm 1).
+- ``repro.simtime``: virtual-clock scheduler (async/semi-sync protocols).
+- ``repro.hier``: hierarchical cloud–edge–client federation.
 - ``repro.experiments``: presets and reporting for every paper table/figure.
 """
 

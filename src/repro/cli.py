@@ -4,8 +4,10 @@
 
     python -m repro run --dataset cifar10 --algorithm bcrs_opwa --cr 0.1 --beta 0.1
     python -m repro run --dataset cifar10 --mode async --buffer-size 3
+    python -m repro run --dataset cifar10 --mode hier --num-edges 4 --edge-rounds 2
     python -m repro compare --dataset svhn --cr 0.01 --beta 0.5 --rounds 40
     python -m repro modes --dataset cifar10 --algorithm topk --target-acc 0.3
+    python -m repro hier --edges 1,2,5 --algorithm bcrs_opwa --backhaul-mbps 100
     python -m repro sweep --param gamma --values 3,5,7 --algorithm bcrs_opwa --cr 0.01
     python -m repro info
 
@@ -21,8 +23,18 @@ import sys
 from repro import __version__
 from repro.compression.registry import available_compressors
 from repro.experiments.presets import bench_config, paper_config
-from repro.experiments.reporting import series_text, summarize_comparison, summarize_modes
-from repro.experiments.runner import run_comparison, run_modes, sweep as run_sweep
+from repro.experiments.reporting import (
+    series_text,
+    summarize_comparison,
+    summarize_hier,
+    summarize_modes,
+)
+from repro.experiments.runner import (
+    run_comparison,
+    run_hier,
+    run_modes,
+    sweep as run_sweep,
+)
 from repro.fl.config import ALGORITHMS, BACKENDS, MODES
 from repro.io.history_io import export_curves_csv, save_history
 from repro.simtime import make_simulation
@@ -59,6 +71,27 @@ def _add_common(p: argparse.ArgumentParser, *, mode_flag: bool = True) -> None:
         "--buffer-size", type=int, default=None, metavar="K",
         help="async: aggregate every K arrivals (default: half the concurrency)",
     )
+    p.add_argument(
+        "--num-edges", type=int, default=None, metavar="E",
+        help="hier: edge aggregators between cloud and clients (default: 1)",
+    )
+    p.add_argument(
+        "--edge-rounds", type=int, default=None, metavar="K1",
+        help="hier: client↔edge sub-rounds per cloud round (default: 1)",
+    )
+    p.add_argument(
+        "--edge-assignment", default=None, metavar="MODE",
+        choices=("contiguous", "random", "bandwidth"),
+        help="hier: client→edge placement (default: contiguous)",
+    )
+    p.add_argument(
+        "--backhaul-mbps", type=float, default=None, metavar="MBPS",
+        help="hier: mean edge↔cloud bandwidth (default: free backhaul)",
+    )
+    p.add_argument(
+        "--backhaul-latency", type=float, default=None, metavar="SECONDS",
+        help="hier: mean edge↔cloud latency (default: 0)",
+    )
     p.add_argument("--save-history", metavar="PATH", default=None)
     p.add_argument("--export-csv", metavar="PATH", default=None)
 
@@ -75,6 +108,16 @@ def _config(args: argparse.Namespace, algorithm: str):
     }
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
+    for flag, field in (
+        ("num_edges", "num_edges"),
+        ("edge_rounds", "edge_rounds"),
+        ("edge_assignment", "edge_assignment"),
+        ("backhaul_mbps", "backhaul_bandwidth_mbps"),
+        ("backhaul_latency", "backhaul_latency_s"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
     return maker(
         args.dataset, algorithm, beta=args.beta, compression_ratio=args.cr, **overrides
     )
@@ -113,6 +156,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report virtual time-to-target accuracy per mode",
     )
     _add_common(p_modes, mode_flag=False)
+
+    p_hier = sub.add_parser(
+        "hier", help="sweep the edge-tier width (flat baseline = 1 edge)"
+    )
+    p_hier.add_argument("--algorithm", default="bcrs_opwa", choices=ALGORITHMS)
+    p_hier.add_argument(
+        "--edges", default="1,2,5",
+        help="comma-separated num_edges values to race (each <= num_clients)",
+    )
+    p_hier.add_argument(
+        "--target-acc", type=float, default=None,
+        help="also report virtual time-to-target accuracy per edge count",
+    )
+    _add_common(p_hier, mode_flag=False)
 
     sub.add_parser("info", help="print registered algorithms and compressors")
     return parser
@@ -166,6 +223,27 @@ def main(argv: list[str] | None = None) -> int:
         if args.export_csv:
             for mode, h in results.items():
                 export_curves_csv(h, f"{args.export_csv}.{mode}.csv")
+        return 0
+
+    if args.command == "hier":
+        base = _config(args, args.algorithm)
+        edge_counts = [int(v) for v in args.edges.split(",") if v.strip()]
+        bad = [e for e in edge_counts if not 1 <= e <= base.num_clients]
+        if bad:
+            print(
+                f"--edges values must be in [1, num_clients={base.num_clients}], "
+                f"got {bad}",
+                file=sys.stderr,
+            )
+            return 2
+        results = run_hier(base, edge_counts)
+        print(summarize_hier(results, target=args.target_acc))
+        if args.save_history:
+            for e, h in results.items():
+                save_history(h, f"{args.save_history}.edges{e}.json")
+        if args.export_csv:
+            for e, h in results.items():
+                export_curves_csv(h, f"{args.export_csv}.edges{e}.csv")
         return 0
 
     if args.command == "sweep":

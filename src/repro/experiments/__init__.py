@@ -7,11 +7,12 @@ from repro.experiments.reporting import (
     paired_row,
     series_text,
     summarize_comparison,
+    summarize_hier,
     summarize_modes,
     time_to_accuracy_row,
 )
 from repro.experiments.metrics import accuracy_auc, rounds_speedup, speedup_to_target
-from repro.experiments.runner import run_comparison, run_modes, sweep
+from repro.experiments.runner import run_comparison, run_hier, run_modes, sweep
 from repro.experiments import paper_reference
 
 __all__ = [
@@ -21,8 +22,10 @@ __all__ = [
     "DATASET_NAME_MAP",
     "run_comparison",
     "run_modes",
+    "run_hier",
     "sweep",
     "summarize_modes",
+    "summarize_hier",
     "accuracy_auc",
     "speedup_to_target",
     "rounds_speedup",

@@ -12,6 +12,7 @@ __all__ = [
     "paired_row",
     "summarize_comparison",
     "summarize_modes",
+    "summarize_hier",
 ]
 
 
@@ -87,6 +88,45 @@ def summarize_modes(results: dict[str, History], *, target: float | None = None)
             _num(h.final_accuracy()),
             _num(h.best_accuracy()),
             "--" if end is None else f"{end:.1f}s",
+        ]
+        if target is not None:
+            t = h.simtime_to_accuracy(target)
+            row.append("--" if t is None else f"{t:.1f}s")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def summarize_hier(results: dict[int, History], *, target: float | None = None) -> str:
+    """Edge-tier sweep summary: accuracy and per-tier virtual timings.
+
+    ``results`` maps ``num_edges`` → history (see
+    :func:`repro.experiments.runner.run_hier`). ``backhaul`` is the mean
+    per-round edge↔cloud transfer time over the slowest edge; rows with one
+    edge and a free backhaul are the flat baseline.
+    """
+    headers = ["edges", "rounds", "final_acc", "best_acc", "virtual_time", "backhaul/rnd"]
+    if target is not None:
+        headers.append(f"t_to_acc>={target:g}")
+    rows = []
+    for edges, h in results.items():
+        end = h.records[-1].sim_end if h.records else None
+        per_round_backhaul = [
+            max(e.backhaul_s for e in r.edge_breakdown)
+            for r in h.records
+            if r.edge_breakdown
+        ]
+        mean_backhaul = (
+            sum(per_round_backhaul) / len(per_round_backhaul)
+            if per_round_backhaul
+            else None
+        )
+        row = [
+            str(edges),
+            str(len(h)),
+            _num(h.final_accuracy()),
+            _num(h.best_accuracy()),
+            "--" if end is None else f"{end:.1f}s",
+            "--" if mean_backhaul is None else f"{mean_backhaul:.2f}s",
         ]
         if target is not None:
             t = h.simtime_to_accuracy(target)

@@ -16,7 +16,11 @@ from repro.fl.config import MODES, ExperimentConfig
 from repro.fl.history import History
 from repro.simtime import make_simulation
 
-__all__ = ["run_comparison", "sweep", "run_modes"]
+__all__ = ["run_comparison", "sweep", "run_modes", "run_hier", "PROTOCOL_RACE_MODES"]
+
+#: The mode-race default: the three flat protocols. ``hier`` is excluded —
+#: at ``num_edges=1`` it duplicates sync; sweep it with :func:`run_hier`.
+PROTOCOL_RACE_MODES = ("sync", "semisync", "async")
 
 
 def run_comparison(
@@ -59,7 +63,7 @@ def sweep(
 
 def run_modes(
     base: ExperimentConfig,
-    modes: Iterable[str] = MODES,
+    modes: Iterable[str] = PROTOCOL_RACE_MODES,
 ) -> dict[str, History]:
     """Race the round protocols on one config: same seed, same budget.
 
@@ -76,4 +80,24 @@ def run_modes(
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         with make_simulation(base.with_(mode=mode)) as sim:
             out[mode] = sim.run()
+    return out
+
+
+def run_hier(
+    base: ExperimentConfig,
+    edge_counts: Iterable[int],
+) -> dict[int, History]:
+    """Sweep the edge-tier width on one config: same seed per run.
+
+    Each entry runs ``base`` under ``mode="hier"`` with that many edge
+    aggregators; everything else (data, model init, client links, device
+    profiles, backhaul knobs) is held fixed, so differences in virtual
+    time-to-accuracy are attributable to the topology alone. ``1`` with the
+    default free backhaul is the flat-protocol baseline (bit-identical to
+    ``mode="sync"`` by the degenerate-equivalence contract).
+    """
+    out: dict[int, History] = {}
+    for e in edge_counts:
+        with make_simulation(base.with_(mode="hier", num_edges=int(e))) as sim:
+            out[int(e)] = sim.run()
     return out

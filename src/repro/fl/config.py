@@ -7,18 +7,33 @@ from dataclasses import dataclass, replace
 from repro.exec import BACKENDS
 from repro.utils.validation import check_fraction, check_positive
 
-__all__ = ["ExperimentConfig", "ALGORITHMS", "BACKENDS", "MODES", "LATE_POLICIES"]
+__all__ = [
+    "ExperimentConfig",
+    "ALGORITHMS",
+    "BACKENDS",
+    "MODES",
+    "LATE_POLICIES",
+    "EDGE_ASSIGNMENTS",
+    "EDGE_SYNC_MODES",
+]
 
 #: Algorithms of Table 2 (the baselines and the paper's two methods) plus
 #: the deadline-drop straggler policy used as an extra ablation baseline.
 ALGORITHMS = ("fedavg", "topk", "eftopk", "bcrs", "bcrs_opwa", "deadline_topk")
 
-#: Round protocols (repro.simtime): lock-step sync, deadline-based
-#: semi-sync, and FedBuff-style fully-async buffered aggregation.
-MODES = ("sync", "semisync", "async")
+#: Round protocols: lock-step sync, deadline-based semi-sync, FedBuff-style
+#: fully-async buffered aggregation (repro.simtime), and hierarchical
+#: cloud–edge–client federation (repro.hier).
+MODES = ("sync", "semisync", "async", "hier")
 
 #: What a semi-sync round does with updates that miss its deadline.
 LATE_POLICIES = ("carryover", "drop")
+
+#: How clients are placed under edge aggregators (repro.hier).
+EDGE_ASSIGNMENTS = ("contiguous", "random", "bandwidth")
+
+#: Edge sub-round barrier semantics: lock-step, or deadline-drop.
+EDGE_SYNC_MODES = ("sync", "semisync")
 
 
 @dataclass(frozen=True)
@@ -91,6 +106,19 @@ class ExperimentConfig:
     compute_s_per_sample: float = 5e-3  # median local-training cost (s per sample×epoch)
     compute_heterogeneity: float = 0.5  # lognormal sigma of per-client speed (0 = uniform)
 
+    # Hierarchy (repro.hier, mode="hier"): cloud → edge → client federation.
+    # The defaults (one edge, free backhaul, one sub-round) make the
+    # hierarchical protocol reproduce the flat Simulation bit-for-bit.
+    num_edges: int = 1  # E edge aggregators between cloud and clients
+    edge_assignment: str = "contiguous"  # how clients map to edges
+    edge_rounds: int = 1  # K₁ client↔edge sub-rounds per cloud round
+    edge_sync: str = "sync"  # edge sub-round barrier: lock-step | deadline-drop
+    #   (semisync edges honor deadline_s/deadline_quantile; late updates
+    #   always drop — lock-step sub-rounds have no window to carry into)
+    backhaul_bandwidth_mbps: float | None = None  # median edge↔cloud bandwidth (None = free)
+    backhaul_latency_s: float = 0.0  # median edge↔cloud latency
+    backhaul_heterogeneity: float = 0.0  # lognormal sigma of per-edge backhaul draws
+
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
             raise ValueError(f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}")
@@ -148,6 +176,26 @@ class ExperimentConfig:
             check_positive("deadline_s", self.deadline_s)
         check_positive("compute_s_per_sample", self.compute_s_per_sample)
         check_positive("compute_heterogeneity", self.compute_heterogeneity, strict=False)
+        if not 1 <= self.num_edges <= self.num_clients:
+            raise ValueError(
+                f"num_edges must be in [1, num_clients={self.num_clients}], "
+                f"got {self.num_edges}"
+            )
+        if self.edge_assignment not in EDGE_ASSIGNMENTS:
+            raise ValueError(
+                f"edge_assignment must be one of {EDGE_ASSIGNMENTS}, "
+                f"got {self.edge_assignment!r}"
+            )
+        if self.edge_rounds < 1:
+            raise ValueError(f"edge_rounds must be >= 1, got {self.edge_rounds}")
+        if self.edge_sync not in EDGE_SYNC_MODES:
+            raise ValueError(
+                f"edge_sync must be one of {EDGE_SYNC_MODES}, got {self.edge_sync!r}"
+            )
+        if self.backhaul_bandwidth_mbps is not None:
+            check_positive("backhaul_bandwidth_mbps", self.backhaul_bandwidth_mbps)
+        check_positive("backhaul_latency_s", self.backhaul_latency_s, strict=False)
+        check_positive("backhaul_heterogeneity", self.backhaul_heterogeneity, strict=False)
 
     @property
     def clients_per_round(self) -> int:

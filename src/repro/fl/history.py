@@ -8,7 +8,26 @@ import numpy as np
 
 from repro.network.metrics import RoundTimes, TimeAccumulator
 
-__all__ = ["RoundRecord", "History"]
+__all__ = ["EdgeRecord", "RoundRecord", "History"]
+
+
+@dataclass(frozen=True)
+class EdgeRecord:
+    """One edge aggregator's share of a hierarchical cloud round.
+
+    ``sub_spans`` are the virtual durations of the edge's K₁ client↔edge
+    sub-rounds; ``backhaul_s`` is the edge↔cloud transfer time (upload plus,
+    when downlink accounting is on, the cloud→edge broadcast). The edge
+    occupied ``[start, end]`` on the virtual clock, ``end`` including the
+    backhaul upload.
+    """
+
+    edge: int
+    selected: tuple[int, ...]  # clients sampled across the edge's sub-rounds
+    sub_spans: tuple[float, ...]  # virtual duration of each sub-round
+    backhaul_s: float
+    start: float
+    end: float
 
 
 @dataclass(frozen=True)
@@ -33,6 +52,9 @@ class RoundRecord:
     sim_start: float | None = None
     sim_end: float | None = None
     mean_staleness: float | None = None  # async/carryover: mean model-version lag
+    # Hierarchical rounds (repro.hier): per-edge tier timings. None on flat
+    # protocols and on histories persisted before the hierarchy existed.
+    edge_breakdown: tuple[EdgeRecord, ...] | None = None
 
 
 @dataclass

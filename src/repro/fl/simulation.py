@@ -131,12 +131,7 @@ class Simulation(EngineMixin):
 
         # Server optimizer over the aggregated pseudo-gradient (FedOpt family;
         # plain SGD with lr=server_step and no momentum is Algorithm 1 verbatim).
-        if config.server_optimizer == "sgd":
-            self.server_opt = make_server_optimizer(
-                "sgd", lr=config.server_step, momentum=config.server_momentum
-            )
-        else:
-            self.server_opt = make_server_optimizer("adam", lr=config.server_step)
+        self.server_opt = self._make_server_opt()
 
         self.history = History()
         self.round_index = 0
@@ -156,12 +151,24 @@ class Simulation(EngineMixin):
             self.round_index == cfg.rounds - 1
         )
 
-    def _aggregate_updates(
-        self, updates: list[CompressedUpdate], weights, use_opwa: bool
-    ) -> float | None:
-        """Alg. 1 lines 14–18: (masked) weighted sparse sum + server step.
+    def _make_server_opt(self):
+        """One server optimizer per aggregation point (the hierarchical
+        protocol builds one per edge with identical hyperparameters)."""
+        cfg = self.config
+        if cfg.server_optimizer == "sgd":
+            return make_server_optimizer(
+                "sgd", lr=cfg.server_step, momentum=cfg.server_momentum
+            )
+        return make_server_optimizer("adam", lr=cfg.server_step)
 
-        Returns the OPWA singleton-fraction diagnostic (None when dense).
+    def _aggregate_into(
+        self, params: np.ndarray, server_opt, updates: list[CompressedUpdate], weights, use_opwa: bool
+    ) -> tuple[np.ndarray, float | None]:
+        """Alg. 1 lines 14–18 against an explicit (params, optimizer) pair.
+
+        Returns (stepped params, OPWA singleton-fraction diagnostic). The
+        flat protocol applies it to the global model; the hierarchical one
+        to each edge model, with the OPWA mask scoped to the edge's updates.
         """
         cfg = self.config
         mask = None
@@ -174,18 +181,34 @@ class Simulation(EngineMixin):
                 sparse, cfg.gamma, required_overlap=cfg.required_overlap
             )
         pseudo_grad = weighted_sparse_sum(updates, np.asarray(weights), mask=mask)
-        self.global_params = self.server_opt.step(self.global_params, pseudo_grad)
+        return server_opt.step(params, pseudo_grad), singleton
+
+    def _aggregate_updates(
+        self, updates: list[CompressedUpdate], weights, use_opwa: bool
+    ) -> float | None:
+        """Alg. 1 lines 14–18: (masked) weighted sparse sum + server step.
+
+        Returns the OPWA singleton-fraction diagnostic (None when dense).
+        """
+        self.global_params, singleton = self._aggregate_into(
+            self.global_params, self.server_opt, updates, weights, use_opwa
+        )
         return singleton
+
+    @staticmethod
+    def _average_states_into(targets: list[np.ndarray], freqs, state_arrays_per_client) -> None:
+        """FedAvg ``state_arrays_per_client`` by ``freqs`` into ``targets``."""
+        for j in range(len(targets)):
+            acc = np.zeros_like(targets[j], dtype=np.float64)
+            for f, states in zip(freqs, state_arrays_per_client):
+                acc += f * states[j]
+            targets[j] = acc.astype(targets[j].dtype)
 
     def _average_states(self, freqs, state_arrays_per_client) -> None:
         """FedAvg the persistent buffers (BN running stats) by ``freqs``."""
         if not self.global_states:
             return
-        for j in range(len(self.global_states)):
-            acc = np.zeros_like(self.global_states[j], dtype=np.float64)
-            for f, states in zip(freqs, state_arrays_per_client):
-                acc += f * states[j]
-            self.global_states[j] = acc.astype(self.global_states[j].dtype)
+        self._average_states_into(self.global_states, freqs, state_arrays_per_client)
 
     def _price_dispatch(
         self, cid: int, ratio: float | None, t: float, tag: int

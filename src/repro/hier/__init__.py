@@ -1,0 +1,41 @@
+"""Hierarchical cloud–edge–client federation.
+
+- :mod:`repro.hier.topology` — :class:`TierTopology`: cloud → E edge
+  aggregators → clients, with distinct per-tier link draws (last-mile
+  client↔edge links vs. edge↔cloud backhaul);
+- :mod:`repro.hier.simulation` — :class:`HierSimulation`: K₁ client↔edge
+  sub-rounds per cloud round, per-edge BCRS/OPWA aggregation, backhaul
+  uploads priced on the virtual clock, two-level (edge then cloud) FedAvg.
+
+Select with ``ExperimentConfig(mode="hier", num_edges=...)`` and build via
+:func:`repro.simtime.make_simulation`. The defaults (one edge, one
+sub-round, free backhaul) reproduce the flat protocol bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.hier.topology import (
+    TierTopology,
+    assign_edges,
+    build_tier_topology,
+    sample_backhaul_links,
+)
+
+__all__ = [
+    "TierTopology",
+    "assign_edges",
+    "build_tier_topology",
+    "sample_backhaul_links",
+    "HierSimulation",
+]
+
+
+def __getattr__(name):
+    # HierSimulation subclasses repro.fl.simulation.Simulation; lazy import
+    # keeps ``import repro.hier`` cheap and acyclic (same pattern as
+    # repro.simtime's protocol classes).
+    if name == "HierSimulation":
+        from repro.hier.simulation import HierSimulation
+
+        return HierSimulation
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

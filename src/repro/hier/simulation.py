@@ -1,0 +1,323 @@
+"""Hierarchical cloud–edge–client federation (mode="hier").
+
+One *cloud round* of :class:`HierSimulation`:
+
+1. every edge runs ``K₁ = edge_rounds`` client↔edge sub-rounds: it samples
+   clients from its own group, the algorithm plans ratios/coefficients over
+   the group's last-mile links — so **BCRS schedules against each edge
+   group's own slowest member**, not the global straggler — clients train
+   from the edge model, and the edge aggregates with the overlap/OPWA
+   machinery scoped to its group (per-edge server optimizer);
+2. each edge then uploads its model over its backhaul link, and the cloud
+   averages the edge models by group data size (two-level aggregation, the
+   HierFAVG discipline);
+3. the whole round is priced on the virtual clock: edges advance in
+   parallel, each sub-round's barrier is the group's slowest aggregated
+   member (``edge_sync="sync"``) or a deadline-quantile cut that drops
+   stragglers (``edge_sync="semisync"``), and the cloud waits for the
+   slowest edge's backhaul upload.
+
+Degenerate-equivalence contract: with ``num_edges=1``, ``edge_rounds=1``
+and a free backhaul (the config defaults), every round record is
+**bit-for-bit identical** to the flat :class:`~repro.fl.simulation.
+Simulation` under the same seed — same selections, losses, times, weights,
+and virtual spans. ``tests/hier/`` enforces this, along with the usual
+contract that seeded runs are bit-identical across execution backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedUpdate, SparseUpdate
+from repro.exec import ClientTask
+from repro.fl.config import ExperimentConfig
+from repro.fl.history import EdgeRecord, RoundRecord
+from repro.fl.simulation import Simulation
+from repro.hier.topology import TierTopology, build_tier_topology
+from repro.network.metrics import RoundTimes
+from repro.utils.rng import RngFactory
+
+__all__ = ["HierSimulation"]
+
+#: Deadline-inclusion tolerance for semi-sync edge sub-rounds (a client
+#: finishing exactly at the cut, up to float rounding, still makes it).
+_EPS = 1e-9
+
+
+class HierSimulation(Simulation):
+    """Two-tier federated rounds: per-edge sub-rounds + cloud averaging."""
+
+    def __init__(self, config: ExperimentConfig):
+        super().__init__(config)
+        rngs = RngFactory(config.seed)
+        self.topology: TierTopology = build_tier_topology(config, self.links, rngs)
+        # One server optimizer per edge (identical hyperparameters); its
+        # state (momentum/Adam moments) persists across cloud rounds.
+        self.edge_opts = [self._make_server_opt() for _ in self.topology.groups]
+        # Cloud-level averaging weights: each edge counts its group's data.
+        sizes = np.array(
+            [
+                sum(self.clients[c].num_samples for c in group)
+                for group in self.topology.groups
+            ],
+            dtype=np.float64,
+        )
+        self.edge_freqs = sizes / sizes.sum()
+
+    # ------------------------------------------------------------ sub-round
+
+    def _sample_group(self, group: tuple[int, ...]) -> np.ndarray:
+        """Fraction-C uniform selection within one edge group.
+
+        All edges draw from the *flat sampler's* stream in (sub-round, edge)
+        order; with one edge spanning every client this consumes the stream
+        exactly like the flat protocol — the degenerate contract's hinge.
+        """
+        k = max(1, int(round(len(group) * self.config.participation)))
+        ids = self.sampler.rng.choice(len(group), size=k, replace=False)
+        return np.sort(np.asarray(group)[ids])
+
+    def _edge_sub_round(self, edge: int, t_start: float):
+        """One client↔edge sub-round: sample, plan, train, aggregate.
+
+        Returns (sub-round virtual span, plan times, record fragments).
+        ``t_start`` is the edge's current position on the virtual clock;
+        client spans are logged there.
+        """
+        cfg = self.config
+        group = self.topology.groups[edge]
+        selected = self._sample_group(group)
+        sel_links = [self.links[i] for i in selected]
+
+        sizes = np.array(
+            [self.clients[i].num_samples for i in selected], dtype=np.float64
+        )
+        freqs = sizes / sizes.sum()
+        # BCRS benchmarks against this group's own slowest member.
+        plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)
+
+        tasks = [
+            ClientTask(
+                position=pos,
+                cid=int(cid),
+                ratio=None if plan.ratios is None else float(plan.ratios[pos]),
+            )
+            for pos, cid in enumerate(selected)
+        ]
+        results = self.backend.run_round(
+            tasks, self._edge_params[edge], self._edge_states[edge], self._train_spec
+        )
+        updates: list[CompressedUpdate] = [r.update for r in results]
+
+        # Price every dispatch at the edge's clock; durations are the
+        # deterministic download+compute+upload pipeline per client.
+        durations = np.array(
+            [
+                sum(
+                    self._price_dispatch(
+                        int(cid),
+                        None if plan.ratios is None else float(plan.ratios[pos]),
+                        t_start,
+                        tag=self.round_index,
+                    )
+                )
+                for pos, cid in enumerate(selected)
+            ]
+        )
+
+        weights = np.asarray(plan.weights, dtype=np.float64)
+        if cfg.edge_sync == "semisync" and len(selected) > 1:
+            # The edge closes at ``deadline_s`` (or, unset, at the deadline
+            # quantile of its members' pipeline times); stragglers are
+            # dropped from this sub-round. Unlike the flat semisync mode
+            # there is no carryover: lock-step sub-rounds have no later
+            # window for a stale arrival to join, so ``late_policy`` does
+            # not apply at the edges.
+            deadline = (
+                float(cfg.deadline_s)
+                if cfg.deadline_s is not None
+                else float(np.quantile(durations, cfg.deadline_quantile))
+            )
+            arrived = durations <= deadline + _EPS
+            w = weights * arrived
+            if w.sum() == 0.0:
+                # Every planned contributor missed the cut: extend to the
+                # fastest *planned* member rather than resurrect an update
+                # the plan deliberately zero-weighted (deadline_topk drops).
+                planned = np.flatnonzero(weights > 0)
+                pool = planned if planned.size else np.arange(len(selected))
+                fastest = int(pool[np.argmin(durations[pool])])
+                w = np.zeros_like(weights)
+                w[fastest] = 1.0
+                arrived[fastest] = True
+            weights = w / w.sum()
+            used = [pos for pos in range(len(selected)) if weights[pos] > 0]
+            span = max(deadline, max(durations[pos] for pos in used))
+            agg_updates = [updates[pos] for pos in used]
+            agg_weights = weights[used]
+            state_freqs = freqs[arrived] / freqs[arrived].sum()
+            state_arrays = [r.state_arrays for r, a in zip(results, arrived) if a]
+        else:
+            # Lock-step barrier at the group's slowest *aggregated* member
+            # (plan-dropped stragglers still burn device time but are not
+            # waited on) — the flat protocol's semantics, scoped to a group.
+            span = max(
+                (durations[pos] for pos in range(len(selected)) if weights[pos] > 0),
+                default=0.0,
+            )
+            agg_updates = updates
+            agg_weights = weights
+            state_freqs = freqs
+            state_arrays = [r.state_arrays for r in results]
+
+        self._edge_params[edge], singleton = self._aggregate_into(
+            self._edge_params[edge],
+            self.edge_opts[edge],
+            agg_updates,
+            agg_weights,
+            plan.use_opwa,
+        )
+        if self._edge_states[edge]:
+            self._average_states_into(self._edge_states[edge], state_freqs, state_arrays)
+
+        realized = (
+            tuple(float(u.density) for u in updates if isinstance(u, SparseUpdate))
+            if plan.ratios is not None
+            else tuple(1.0 for _ in updates)
+        )
+        fragments = {
+            "selected": tuple(int(i) for i in selected),
+            "weights": tuple(float(w) for w in weights),
+            "ratios": realized,
+            "losses": [r.mean_loss for r in results],
+            "train_seconds": sum(r.train_seconds for r in results),
+            "compress_seconds": sum(r.compress_seconds for r in results),
+            "singleton": singleton,
+            "updates": updates,
+        }
+        return float(span), plan.times, fragments
+
+    # ------------------------------------------------------------------ round
+
+    def run_round(self) -> RoundRecord:
+        """One cloud round: K₁ sub-rounds per edge, then cloud averaging."""
+        cfg = self.config
+        E = self.topology.num_edges
+        if self._varying is not None:
+            self.links = [tv.step() for tv in self._varying]
+
+        sim_start = self.sim_clock
+        # Every edge starts from this round's global model.
+        self._edge_params = [self.global_params.copy() for _ in range(E)]
+        self._edge_states = [
+            [a.copy() for a in self.global_states] for _ in range(E)
+        ]
+
+        # Cloud→edge broadcast opens the round (charged only when downlink
+        # accounting is on, mirroring the client tier). Backhaul links are
+        # provisioned symmetric, so no residential downlink factor.
+        backhaul_down = [
+            self.topology.backhaul_downlink_time(e, self.volume_bits)
+            if cfg.include_downlink
+            else 0.0
+            for e in range(E)
+        ]
+        elapsed = list(backhaul_down)  # per-edge virtual time since sim_start
+        sub_spans: list[list[float]] = [[] for _ in range(E)]
+        actual_sum = [0.0] * E
+        max_sum = [0.0] * E
+        min_sum = [0.0] * E
+        down_sum = [0.0] * E
+        selected_all: list[int] = []
+        weights_all: list[float] = []
+        ratios_all: list[float] = []
+        losses_all: list[float] = []
+        singletons: list[float] = []
+        edge_selected: list[list[int]] = [[] for _ in range(E)]
+        train_seconds = compress_seconds = 0.0
+        round_updates: list[CompressedUpdate] = []
+
+        # Sub-rounds advance lock-step across edges only in *stream order*:
+        # edges are independent in virtual time (each has its own clock),
+        # but the (sub-round, edge) iteration fixes the sampling sequence.
+        for _k in range(cfg.edge_rounds):
+            for e in range(E):
+                span, times, frag = self._edge_sub_round(e, sim_start + elapsed[e])
+                elapsed[e] += span
+                sub_spans[e].append(span)
+                actual_sum[e] += times.actual
+                max_sum[e] += times.maximum
+                min_sum[e] += times.minimum
+                down_sum[e] += times.downlink
+                selected_all.extend(frag["selected"])
+                edge_selected[e].extend(frag["selected"])
+                weights_all.extend(frag["weights"])
+                ratios_all.extend(frag["ratios"])
+                losses_all.extend(frag["losses"])
+                if frag["singleton"] is not None:
+                    singletons.append(frag["singleton"])
+                train_seconds += frag["train_seconds"]
+                compress_seconds += frag["compress_seconds"]
+                round_updates.extend(frag["updates"])
+        self.last_round_updates = round_updates
+
+        # Edge→cloud uploads (dense edge models over the backhaul), then the
+        # cloud averages edge models by group data size — two-level FedAvg.
+        backhaul_up = [
+            self.topology.backhaul_uplink_time(e, self.volume_bits) for e in range(E)
+        ]
+        edge_totals = [elapsed[e] + backhaul_up[e] for e in range(E)]
+
+        merged = [self.global_params]  # the edge tier's averaging kernel,
+        self._average_states_into(  # applied once at the cloud tier
+            merged, self.edge_freqs, [[p] for p in self._edge_params]
+        )
+        self.global_params = merged[0]
+        if self.global_states:
+            self._average_states_into(
+                self.global_states, self.edge_freqs, self._edge_states
+            )
+
+        test_acc = self.evaluate() if self._should_evaluate() else None
+
+        backhaul_s = [backhaul_up[e] + backhaul_down[e] for e in range(E)]
+        times = RoundTimes(
+            actual=max(a + b for a, b in zip(actual_sum, backhaul_s)),
+            maximum=max(m + b for m, b in zip(max_sum, backhaul_s)),
+            minimum=min(m + b for m, b in zip(min_sum, backhaul_s)),
+            downlink=max(d + b for d, b in zip(down_sum, backhaul_down)),
+        )
+        round_span = max(edge_totals)
+        self.sim_clock = sim_start + round_span
+
+        breakdown = tuple(
+            EdgeRecord(
+                edge=e,
+                selected=tuple(edge_selected[e]),
+                sub_spans=tuple(sub_spans[e]),
+                backhaul_s=backhaul_s[e],
+                start=sim_start,
+                end=sim_start + edge_totals[e],
+            )
+            for e in range(E)
+        )
+        record = RoundRecord(
+            round_index=self.round_index,
+            selected=tuple(selected_all),
+            train_loss=float(np.mean(losses_all)),
+            test_accuracy=test_acc,
+            times=times,
+            ratios=tuple(ratios_all),
+            weights=tuple(weights_all),
+            singleton_fraction=float(np.mean(singletons)) if singletons else None,
+            train_seconds=train_seconds,
+            compress_seconds=compress_seconds,
+            sim_start=sim_start,
+            sim_end=self.sim_clock,
+            mean_staleness=0.0,
+            edge_breakdown=breakdown,
+        )
+        self.history.append(record)
+        self.round_index += 1
+        return record

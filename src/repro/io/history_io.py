@@ -6,7 +6,7 @@ import csv
 import json
 from pathlib import Path
 
-from repro.fl.history import History, RoundRecord
+from repro.fl.history import EdgeRecord, History, RoundRecord
 from repro.network.metrics import RoundTimes
 
 __all__ = ["history_to_dict", "history_from_dict", "save_history", "load_history", "export_curves_csv"]
@@ -35,6 +35,19 @@ def history_to_dict(history: History) -> dict:
                 "sim_start": r.sim_start,
                 "sim_end": r.sim_end,
                 "mean_staleness": r.mean_staleness,
+                "edge_breakdown": None
+                if r.edge_breakdown is None
+                else [
+                    {
+                        "edge": e.edge,
+                        "selected": list(e.selected),
+                        "sub_spans": list(e.sub_spans),
+                        "backhaul_s": e.backhaul_s,
+                        "start": e.start,
+                        "end": e.end,
+                    }
+                    for e in r.edge_breakdown
+                ],
             }
             for r in history.records
         ]
@@ -66,6 +79,20 @@ def history_from_dict(data: dict) -> History:
                 sim_start=rec.get("sim_start"),
                 sim_end=rec.get("sim_end"),
                 mean_staleness=rec.get("mean_staleness"),
+                # Pre-hierarchy files lack the per-tier breakdown entirely.
+                edge_breakdown=None
+                if rec.get("edge_breakdown") is None
+                else tuple(
+                    EdgeRecord(
+                        edge=int(e["edge"]),
+                        selected=tuple(e["selected"]),
+                        sub_spans=tuple(e["sub_spans"]),
+                        backhaul_s=float(e["backhaul_s"]),
+                        start=float(e["start"]),
+                        end=float(e["end"]),
+                    )
+                    for e in rec["edge_breakdown"]
+                ),
             )
         )
     return h

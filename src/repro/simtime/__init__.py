@@ -64,10 +64,12 @@ def make_simulation(config):
     """Build the simulation class selected by ``config.mode``.
 
     ``"sync"`` returns the lock-step :class:`~repro.fl.simulation.Simulation`;
-    ``"semisync"`` and ``"async"`` return the event-driven protocols. All
-    three share the seeded data/model/link construction, record into the
-    same :class:`~repro.fl.history.History`, and honor the determinism
-    contract (seeded runs bit-identical across execution backends).
+    ``"semisync"`` and ``"async"`` return the event-driven protocols;
+    ``"hier"`` returns the hierarchical cloud–edge–client protocol
+    (:class:`~repro.hier.simulation.HierSimulation`). All share the seeded
+    data/model/link construction, record into the same
+    :class:`~repro.fl.history.History`, and honor the determinism contract
+    (seeded runs bit-identical across execution backends).
     """
     from repro.fl.simulation import Simulation
     from repro.simtime.protocols import AsyncSimulation, SemiSyncSimulation
@@ -78,4 +80,8 @@ def make_simulation(config):
         return SemiSyncSimulation(config)
     if config.mode == "async":
         return AsyncSimulation(config)
+    if config.mode == "hier":
+        from repro.hier.simulation import HierSimulation
+
+        return HierSimulation(config)
     raise ValueError(f"unknown mode {config.mode!r}")

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ascii_plot", "ascii_bars", "ascii_timeline"]
+__all__ = ["ascii_plot", "ascii_bars", "ascii_timeline", "ascii_tier_tree"]
 
 _MARKERS = "abcdefghijklmnopqrstuvwxyz"
 
@@ -120,6 +120,54 @@ def ascii_timeline(
         " " * (label_w + 2) + f"{lo:.3g}s".ljust(width - 8) + f"{hi:.3g}s"
     )
     lines.append("█ train   ░ upload")
+    return "\n".join(lines)
+
+
+def _fmt_bps(bps: float) -> str:
+    """Human bandwidth: 1.2Mb/s, 100Mb/s, 2.5Gb/s."""
+    if bps >= 1e9:
+        return f"{bps / 1e9:.3g}Gb/s"
+    if bps >= 1e6:
+        return f"{bps / 1e6:.3g}Mb/s"
+    return f"{bps / 1e3:.3g}kb/s"
+
+
+def ascii_tier_tree(topology, breakdown=None) -> str:
+    """Render a cloud → edges → clients tier tree with per-tier timings.
+
+    ``topology`` is a :class:`repro.hier.topology.TierTopology` (duck typed:
+    ``groups``, ``client_links``, ``backhaul_links``). ``breakdown`` is the
+    optional per-edge timing of one cloud round — an iterable of
+    :class:`repro.fl.history.EdgeRecord` (``edge``/``sub_spans``/
+    ``backhaul_s``/``end``), as carried by hierarchical round records — and
+    adds each edge's sub-round spans and backhaul time next to its links.
+    """
+    by_edge = {} if breakdown is None else {b.edge: b for b in breakdown}
+    lines = ["cloud"]
+    num_edges = len(topology.groups)
+    for e, group in enumerate(topology.groups):
+        last_edge = e == num_edges - 1
+        stem = "└─" if last_edge else "├─"
+        link = topology.backhaul_links[e]
+        backhaul = (
+            "free backhaul"
+            if link is None
+            else f"backhaul {_fmt_bps(link.bandwidth_bps)} {link.latency_s * 1e3:.3g}ms"
+        )
+        timing = ""
+        if e in by_edge:
+            b = by_edge[e]
+            spans = " ".join(f"{s:.3g}s" for s in b.sub_spans)
+            timing = f"   sub-rounds [{spans}]  backhaul {b.backhaul_s:.3g}s  done {b.end:.3g}s"
+        lines.append(f" {stem} edge {e}   {backhaul}{timing}")
+        trunk = "    " if last_edge else " │  "
+        for j, cid in enumerate(group):
+            leaf = "└─" if j == len(group) - 1 else "├─"
+            cl = topology.client_links[cid]
+            lines.append(
+                f"{trunk}{leaf} c{cid}  {_fmt_bps(cl.bandwidth_bps)} "
+                f"{cl.latency_s * 1e3:.3g}ms"
+            )
     return "\n".join(lines)
 
 

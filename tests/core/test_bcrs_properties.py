@@ -1,0 +1,82 @@
+"""BCRS scheduling invariants, parametrized over random link draws.
+
+Algorithm 2's contract must hold on *any* selected-client link profile, not
+just the Fig. 1/2 example: the benchmark (slowest default-ratio) client
+keeps ``CR*``, every scheduled ratio lands in ``[cr*, 1]``, no scheduled
+upload exceeds the benchmark window, and scheduling a single client is a
+no-op.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bcrs import schedule_ratios
+from repro.network.cost import sparse_uplink_time
+from repro.network.links import LinkModel, PAPER_LINK_MODEL, sample_links
+
+#: Timing tolerance: scheduled times are recomputed from clipped ratios,
+#: so they may exceed t_bench only by float rounding.
+EPS = 1e-9
+
+#: Diverse link populations: the paper's model plus wider/narrower spreads.
+LINK_MODELS = {
+    "paper": PAPER_LINK_MODEL,
+    "wide": LinkModel(bandwidth_mean_bps=2e6, bandwidth_std_bps=1.5e6),
+    "slow": LinkModel(bandwidth_mean_bps=0.3e6, bandwidth_std_bps=0.1e6),
+}
+
+V = 32e6  # 1M params × 32 bits
+
+
+def draws():
+    """(links, default_cr) over seeds × models × ratios — 54 profiles."""
+    cases = []
+    for model_name, model in LINK_MODELS.items():
+        for seed in range(6):
+            for cr in (0.01, 0.1, 0.5):
+                cases.append(
+                    pytest.param(model, seed, cr, id=f"{model_name}-s{seed}-cr{cr}")
+                )
+    return cases
+
+
+@pytest.mark.parametrize("model,seed,default_cr", draws())
+class TestScheduleInvariants:
+    def links(self, model, seed):
+        return sample_links(8, model, seed=seed)
+
+    def test_slowest_client_keeps_default_cr(self, model, seed, default_cr):
+        links = self.links(model, seed)
+        sched = schedule_ratios(links, V, default_cr)
+        assert sched.ratios[sched.benchmark_index] == pytest.approx(default_cr)
+        # And the benchmark really is the slowest default-ratio client.
+        assert sched.benchmark_index == int(np.argmax(sched.default_times))
+
+    def test_ratios_clipped_to_valid_range(self, model, seed, default_cr):
+        sched = schedule_ratios(self.links(model, seed), V, default_cr)
+        assert np.all(sched.ratios >= default_cr - EPS)
+        assert np.all(sched.ratios <= 1.0 + EPS)
+
+    def test_scheduled_times_never_exceed_benchmark(self, model, seed, default_cr):
+        links = self.links(model, seed)
+        sched = schedule_ratios(links, V, default_cr)
+        assert np.all(sched.scheduled_times <= sched.t_bench + EPS)
+        # scheduled_times is self-consistent with the cost model.
+        for link, r, t in zip(links, sched.ratios, sched.scheduled_times):
+            assert t == pytest.approx(sparse_uplink_time(link, V, float(r)))
+
+    def test_single_client_selection_is_noop(self, model, seed, default_cr):
+        (link,) = sample_links(1, model, seed=seed)
+        sched = schedule_ratios([link], V, default_cr)
+        assert sched.num_clients == 1
+        assert sched.benchmark_index == 0
+        assert sched.ratios[0] == pytest.approx(default_cr)
+        assert sched.scheduled_times[0] == pytest.approx(sched.t_bench)
+        assert sched.saved_time() == pytest.approx(0.0)
+
+    def test_saved_time_is_nonnegative_gap_sum(self, model, seed, default_cr):
+        sched = schedule_ratios(self.links(model, seed), V, default_cr)
+        assert sched.saved_time() >= -EPS
+        assert sched.saved_time() == pytest.approx(
+            float(np.sum(sched.t_bench - sched.default_times))
+        )

@@ -66,3 +66,33 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "gamma=3.0" in out and "gamma=5.0" in out
+
+
+class TestHierCommand:
+    def test_hier_summary_table(self, capsys):
+        rc = main(["hier", "--edges", "1,2", "--target-acc", "0.05", *FAST_ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "edges" in out and "backhaul/rnd" in out and "t_to_acc>=0.05" in out
+
+    def test_hier_rejects_too_many_edges(self, capsys):
+        rc = main(["hier", "--edges", "99", *FAST_ARGS])
+        assert rc == 2
+
+    def test_run_mode_hier_with_knobs(self, capsys):
+        rc = main([
+            "run", "--algorithm", "topk", "--mode", "hier",
+            "--num-edges", "2", "--edge-rounds", "2", "--backhaul-mbps", "100",
+            *FAST_ARGS,
+        ])
+        assert rc == 0
+        assert "mode hier" in capsys.readouterr().out
+
+    def test_hier_saves_per_edge_histories(self, tmp_path, capsys):
+        hist = tmp_path / "h"
+        rc = main([
+            "hier", "--edges", "1,2", "--save-history", str(hist), *FAST_ARGS,
+        ])
+        assert rc == 0
+        data = json.loads((tmp_path / "h.edges2.json").read_text())
+        assert data["records"][0]["edge_breakdown"] is not None

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.simtime.events import ClientSpan, SpanLog
-from repro.viz.ascii import ascii_bars, ascii_plot, ascii_timeline
+from repro.viz.ascii import ascii_bars, ascii_plot, ascii_tier_tree, ascii_timeline
 
 
 class TestAsciiPlot:
@@ -121,3 +121,61 @@ class TestAsciiBars:
             ascii_bars({})
         with pytest.raises(ValueError):
             ascii_bars({"neg": -1.0})
+
+
+class TestAsciiTierTree:
+    def topology(self, backhaul_mbps=100.0):
+        from repro.hier.topology import TierTopology, assign_edges, sample_backhaul_links
+        from repro.network.links import sample_links
+
+        links = sample_links(5, seed=0)
+        return TierTopology(
+            groups=assign_edges(5, 2, "contiguous"),
+            client_links=tuple(links),
+            backhaul_links=sample_backhaul_links(
+                2, bandwidth_mbps=backhaul_mbps, latency_s=0.01, seed=1
+            ),
+        )
+
+    def test_renders_every_tier(self):
+        text = ascii_tier_tree(self.topology())
+        lines = text.splitlines()
+        assert lines[0] == "cloud"
+        assert sum("edge" in l for l in lines) == 2
+        for cid in range(5):
+            assert f"c{cid}" in text
+        assert "backhaul" in text and "Mb/s" in text
+
+    def test_free_backhaul_labelled(self):
+        text = ascii_tier_tree(self.topology(backhaul_mbps=None))
+        assert "free backhaul" in text
+
+    def test_breakdown_adds_timings(self):
+        from repro.fl.history import EdgeRecord
+
+        breakdown = (
+            EdgeRecord(edge=0, selected=(0, 1), sub_spans=(1.5, 2.0),
+                       backhaul_s=0.25, start=0.0, end=3.75),
+            EdgeRecord(edge=1, selected=(3,), sub_spans=(2.5,),
+                       backhaul_s=0.5, start=0.0, end=3.0),
+        )
+        text = ascii_tier_tree(self.topology(), breakdown)
+        assert "sub-rounds [1.5s 2s]" in text
+        assert "backhaul 0.25s" in text
+        assert "done 3.75s" in text
+
+    def test_round_record_breakdown_renders(self):
+        """The tree consumes a hierarchical run's breakdown directly."""
+        from repro.fl.config import ExperimentConfig
+        from repro.simtime import make_simulation
+
+        cfg = ExperimentConfig(
+            dataset="synth-cifar10", model="mlp", num_train=160, num_test=80,
+            num_clients=4, rounds=1, batch_size=32, algorithm="topk",
+            compression_ratio=0.2, mode="hier", num_edges=2,
+            backhaul_bandwidth_mbps=50.0,
+        )
+        with make_simulation(cfg) as sim:
+            record = sim.run_round()
+        text = ascii_tier_tree(sim.topology, record.edge_breakdown)
+        assert "sub-rounds" in text and "done" in text
