@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Benchmark the unified transport layer, written to ``BENCH_transport.json``.
+
+Two measurements, tracked as a CI artifact alongside ``bench_modes.py`` /
+``bench_hier.py``:
+
+- **pricing-path throughput**: payloads priced per second through the
+  exclusive path (the hot loop every protocol round takes) and flows
+  resolved per second through the fair water-filling engine;
+- **contended vs. exclusive round times**: one seeded config run under
+  ``contention="none"`` and ``contention="fair"`` at a given ingress
+  capacity — the virtual-clock cost of server-side bandwidth sharing, and
+  the wall-clock overhead of simulating it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_transport.py [--rounds N]
+        [--num-clients N] [--ingress-mbps M] [--backend serial|thread|process]
+        [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.presets import bench_config
+from repro.fl.config import BACKENDS
+from repro.network.links import LinkModel, sample_links
+from repro.network.transport import MBIT, IngressPipe, Payload, Transport
+from repro.simtime import make_simulation
+
+
+def bench_pricing(n: int = 200_000) -> dict:
+    """Exclusive pricing throughput: payloads per second through Eq. 4."""
+    transport = Transport()
+    links = sample_links(64, LinkModel(), seed=0)
+    payloads = [Payload.planned(32e6, 0.1), Payload.dense(32e6), Payload.sparse(10_000)]
+    t0 = time.perf_counter()
+    acc = 0.0
+    for i in range(n):
+        acc += transport.uplink_seconds(links[i % 64], payloads[i % 3])
+    wall = time.perf_counter() - t0
+    return {
+        "payloads_priced": n,
+        "wall_seconds": round(wall, 4),
+        "payloads_per_sec": round(n / wall, 1),
+        "checksum": round(acc, 3),
+    }
+
+
+def bench_waterfill(batches: int = 200, flows_per_batch: int = 50) -> dict:
+    """Fair-engine throughput: flows resolved per second, batch-epoch style."""
+    links = sample_links(flows_per_batch, LinkModel(), seed=1)
+    t0 = time.perf_counter()
+    resolved = 0
+    for b in range(batches):
+        pipe = IngressPipe(5.0 * MBIT)
+        for i, link in enumerate(links):
+            pipe.admit(1e6 + 1e4 * i, link, 0.1 * (i % 7))
+        resolved += len(pipe.drain())
+    wall = time.perf_counter() - t0
+    return {
+        "flows_resolved": resolved,
+        "wall_seconds": round(wall, 4),
+        "flows_per_sec": round(resolved / wall, 1),
+    }
+
+
+def bench_rounds(base, contention: str, ingress_mbps: float | None) -> dict:
+    cfg = base.with_(contention=contention, server_ingress_mbps=ingress_mbps)
+    t0 = time.perf_counter()
+    with make_simulation(cfg) as sim:
+        history = sim.run()
+    wall = time.perf_counter() - t0
+    totals = history.comm_totals()
+    return {
+        "contention": contention,
+        "rounds": len(history),
+        "wall_seconds": round(wall, 3),
+        "rounds_per_sec": round(len(history) / wall, 3),
+        "virtual_time_total": round(history.records[-1].sim_end, 3),
+        "final_accuracy": round(history.final_accuracy(), 4),
+        "uplink_mb": round(totals["uplink_bytes"] / 1e6, 3),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--num-clients", type=int, default=32)
+    parser.add_argument("--ingress-mbps", type=float, default=2.0)
+    parser.add_argument("--backend", default="serial", choices=BACKENDS)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_transport.json")
+    args = parser.parse_args()
+
+    base = bench_config(
+        "cifar10",
+        "topk",
+        compression_ratio=0.1,
+        rounds=args.rounds,
+        num_clients=args.num_clients,
+        seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    exclusive = bench_rounds(base, "none", None)
+    fair = bench_rounds(base, "fair", args.ingress_mbps)
+    payload = {
+        "config": {
+            "dataset": base.dataset,
+            "algorithm": base.algorithm,
+            "rounds": base.rounds,
+            "num_clients": base.num_clients,
+            "compression_ratio": base.compression_ratio,
+            "server_ingress_mbps": args.ingress_mbps,
+            "backend": base.backend,
+            "seed": base.seed,
+        },
+        "pricing": bench_pricing(),
+        "waterfill": bench_waterfill(),
+        "round_race": [exclusive, fair],
+        "contention_slowdown_virtual": round(
+            fair["virtual_time_total"] / exclusive["virtual_time_total"], 3
+        ),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"pricing: {payload['pricing']['payloads_per_sec']:,.0f} payloads/s   "
+        f"waterfill: {payload['waterfill']['flows_per_sec']:,.0f} flows/s"
+    )
+    for r in payload["round_race"]:
+        print(
+            f"contention={r['contention']:>4}: {r['rounds_per_sec']:6.2f} rounds/s wall, "
+            f"virtual {r['virtual_time_total']:8.1f}s, uplink {r['uplink_mb']:.2f}MB"
+        )
+    print(
+        f"virtual slowdown under fair sharing at {args.ingress_mbps:g} Mbit/s ingress: "
+        f"{payload['contention_slowdown_virtual']}x"
+    )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

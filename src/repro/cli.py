@@ -5,9 +5,11 @@
     python -m repro run --dataset cifar10 --algorithm bcrs_opwa --cr 0.1 --beta 0.1
     python -m repro run --dataset cifar10 --mode async --buffer-size 3
     python -m repro run --dataset cifar10 --mode hier --num-edges 4 --edge-rounds 2
+    python -m repro run --dataset cifar10 --contention fair --ingress-mbps 2
     python -m repro compare --dataset svhn --cr 0.01 --beta 0.5 --rounds 40
     python -m repro modes --dataset cifar10 --algorithm topk --target-acc 0.3
     python -m repro hier --edges 1,2,5 --algorithm bcrs_opwa --backhaul-mbps 100
+    python -m repro comm --dataset cifar10 --algorithm topk --cr 0.1
     python -m repro sweep --param gamma --values 3,5,7 --algorithm bcrs_opwa --cr 0.01
     python -m repro info
 
@@ -25,6 +27,7 @@ from repro.compression.registry import available_compressors
 from repro.experiments.presets import bench_config, paper_config
 from repro.experiments.reporting import (
     series_text,
+    summarize_comm,
     summarize_comparison,
     summarize_hier,
     summarize_modes,
@@ -92,6 +95,16 @@ def _add_common(p: argparse.ArgumentParser, *, mode_flag: bool = True) -> None:
         "--backhaul-latency", type=float, default=None, metavar="SECONDS",
         help="hier: mean edge↔cloud latency (default: 0)",
     )
+    p.add_argument(
+        "--contention", default=None, choices=("none", "fair"),
+        help="server-ingress contention: exclusive links, or fair-shared "
+             "capacity (needs --ingress-mbps)",
+    )
+    p.add_argument(
+        "--ingress-mbps", type=float, default=None, metavar="MBPS",
+        help="shared server-ingress capacity fair-shared among concurrent "
+             "uploads (per edge under --mode hier)",
+    )
     p.add_argument("--save-history", metavar="PATH", default=None)
     p.add_argument("--export-csv", metavar="PATH", default=None)
 
@@ -114,6 +127,8 @@ def _config(args: argparse.Namespace, algorithm: str):
         ("edge_assignment", "edge_assignment"),
         ("backhaul_mbps", "backhaul_bandwidth_mbps"),
         ("backhaul_latency", "backhaul_latency_s"),
+        ("contention", "contention"),
+        ("ingress_mbps", "server_ingress_mbps"),
     ):
         value = getattr(args, flag, None)
         if value is not None:
@@ -170,6 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report virtual time-to-target accuracy per edge count",
     )
     _add_common(p_hier, mode_flag=False)
+
+    p_comm = sub.add_parser(
+        "comm", help="run one config and print its end-to-end flow ledger"
+    )
+    p_comm.add_argument("--algorithm", default="bcrs_opwa", choices=ALGORITHMS)
+    p_comm.add_argument(
+        "--top", type=int, default=5,
+        help="how many top-uplink clients to list (default: 5)",
+    )
+    _add_common(p_comm)
 
     sub.add_parser("info", help="print registered algorithms and compressors")
     return parser
@@ -244,6 +269,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.export_csv:
             for e, h in results.items():
                 export_curves_csv(h, f"{args.export_csv}.edges{e}.csv")
+        return 0
+
+    if args.command == "comm":
+        cfg = _config(args, args.algorithm)
+        with make_simulation(cfg) as sim:
+            history = sim.run()
+        print(summarize_comm(history, top=args.top))
+        print(f"\nmode {cfg.mode}  contention {cfg.contention}  "
+              f"final accuracy {history.final_accuracy():.4f}")
+        if args.save_history:
+            save_history(history, args.save_history)
+        if args.export_csv:
+            export_curves_csv(history, args.export_csv)
         return 0
 
     if args.command == "sweep":

@@ -13,6 +13,7 @@ __all__ = [
     "summarize_comparison",
     "summarize_modes",
     "summarize_hier",
+    "summarize_comm",
 ]
 
 
@@ -133,6 +134,32 @@ def summarize_hier(results: dict[int, History], *, target: float | None = None) 
             row.append("--" if t is None else f"{t:.1f}s")
         rows.append(row)
     return format_table(headers, rows)
+
+
+def summarize_comm(history: History, *, top: int = 5) -> str:
+    """Flow-accounting summary of one run: the transport ledger table plus
+    the headline totals (wire bytes moved, virtual seconds, effective
+    goodput) — what the CLI ``comm`` subcommand prints.
+    """
+    from repro.viz.ascii import ascii_comm_table
+
+    lines = [ascii_comm_table(history, top=top)]
+    totals = history.comm_totals()
+    if totals["rounds"] > 0 and history.records:
+        end = history.records[-1].sim_end
+        mb = totals["total_bytes"] / 1e6
+        lines.append("")
+        line = (
+            f"{mb:.2f}MB over {int(totals['rounds'])} rounds"
+        )
+        if end is not None and end > 0:
+            line += (
+                f"; {end:.1f} virtual seconds"
+                f" -> {8.0 * totals['total_bytes'] / end / 1e6:.2f} Mbit/s"
+                " effective aggregate throughput"
+            )
+        lines.append(line)
+    return "\n".join(lines)
 
 
 def summarize_comparison(results: dict[str, History]) -> str:

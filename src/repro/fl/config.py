@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.exec import BACKENDS
+from repro.network.transport import CONTENTION_MODES
 from repro.utils.validation import check_fraction, check_positive
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "LATE_POLICIES",
     "EDGE_ASSIGNMENTS",
     "EDGE_SYNC_MODES",
+    "CONTENTION_MODES",
 ]
 
 #: Algorithms of Table 2 (the baselines and the paper's two methods) plus
@@ -34,6 +36,10 @@ EDGE_ASSIGNMENTS = ("contiguous", "random", "bandwidth")
 
 #: Edge sub-round barrier semantics: lock-step, or deadline-drop.
 EDGE_SYNC_MODES = ("sync", "semisync")
+
+# CONTENTION_MODES ("none" | "fair") is defined by repro.network.transport —
+# the transport layer owns the contention vocabulary — and re-exported here
+# for config consumers.
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,15 @@ class ExperimentConfig:
     compute_s_per_sample: float = 5e-3  # median local-training cost (s per sample×epoch)
     compute_heterogeneity: float = 0.5  # lognormal sigma of per-client speed (0 = uniform)
 
+    # Transport (repro.network.transport): how concurrent uploads share the
+    # aggregation point's ingress. "none" = exclusive links (the paper's
+    # Eq. 4 per-link pricing, the bit-for-bit seed semantics); "fair" =
+    # server_ingress_mbps max-min fair-shared among in-flight uploads
+    # (per edge aggregator under mode="hier"; edge→cloud backhaul then
+    # contends on the cloud's own ingress).
+    contention: str = "none"
+    server_ingress_mbps: float | None = None  # required when contention="fair"
+
     # Hierarchy (repro.hier, mode="hier"): cloud → edge → client federation.
     # The defaults (one edge, free backhaul, one sub-round) make the
     # hierarchical protocol reproduce the flat Simulation bit-for-bit.
@@ -176,6 +191,17 @@ class ExperimentConfig:
             check_positive("deadline_s", self.deadline_s)
         check_positive("compute_s_per_sample", self.compute_s_per_sample)
         check_positive("compute_heterogeneity", self.compute_heterogeneity, strict=False)
+        if self.contention not in CONTENTION_MODES:
+            raise ValueError(
+                f"contention must be one of {CONTENTION_MODES}, got {self.contention!r}"
+            )
+        if self.server_ingress_mbps is not None:
+            check_positive("server_ingress_mbps", self.server_ingress_mbps)
+        if self.contention == "fair" and self.server_ingress_mbps is None:
+            raise ValueError(
+                "contention='fair' needs server_ingress_mbps (the shared "
+                "ingress capacity to fair-share)"
+            )
         if not 1 <= self.num_edges <= self.num_clients:
             raise ValueError(
                 f"num_edges must be in [1, num_clients={self.num_clients}], "

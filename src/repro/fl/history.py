@@ -8,7 +8,61 @@ import numpy as np
 
 from repro.network.metrics import RoundTimes, TimeAccumulator
 
-__all__ = ["EdgeRecord", "RoundRecord", "History"]
+__all__ = ["RoundComm", "EdgeRecord", "RoundRecord", "History"]
+
+
+@dataclass(frozen=True)
+class RoundComm:
+    """Byte-accurate flow ledger of one round (or aggregation window).
+
+    Each field is a sorted tuple of ``(endpoint id, bits)`` pairs recording
+    exact wire volumes the transport priced this round: ``uplink`` and
+    ``downlink`` key by client id (downlink entries appear only when
+    downlink accounting is on — the ledger records *priced* flows);
+    ``backhaul`` keys by edge id with both edge↔cloud directions summed
+    (empty on flat protocols and free backhauls).
+    """
+
+    uplink: tuple[tuple[int, float], ...] = ()
+    downlink: tuple[tuple[int, float], ...] = ()
+    backhaul: tuple[tuple[int, float], ...] = ()
+
+    @staticmethod
+    def from_maps(
+        uplink: dict[int, float] | None = None,
+        downlink: dict[int, float] | None = None,
+        backhaul: dict[int, float] | None = None,
+    ) -> "RoundComm":
+        """Build a ledger from id→bits accumulators, dropping zero entries."""
+
+        def items(m):
+            if not m:
+                return ()
+            return tuple(sorted((int(k), float(v)) for k, v in m.items() if v > 0))
+
+        return RoundComm(
+            uplink=items(uplink), downlink=items(downlink), backhaul=items(backhaul)
+        )
+
+    @property
+    def uplink_bits(self) -> float:
+        return sum(b for _, b in self.uplink)
+
+    @property
+    def downlink_bits(self) -> float:
+        return sum(b for _, b in self.downlink)
+
+    @property
+    def backhaul_bits(self) -> float:
+        return sum(b for _, b in self.backhaul)
+
+    @property
+    def total_bits(self) -> float:
+        return self.uplink_bits + self.downlink_bits + self.backhaul_bits
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
 
 
 @dataclass(frozen=True)
@@ -55,6 +109,10 @@ class RoundRecord:
     # Hierarchical rounds (repro.hier): per-edge tier timings. None on flat
     # protocols and on histories persisted before the hierarchy existed.
     edge_breakdown: tuple[EdgeRecord, ...] | None = None
+    # Transport flow ledger (repro.network.transport): exact bits moved per
+    # client/tier this round. None on histories from before the unified
+    # transport layer existed.
+    comm: RoundComm | None = None
 
 
 @dataclass
@@ -157,6 +215,42 @@ class History:
             if r.test_accuracy is not None and r.test_accuracy >= target:
                 return r.round_index
         return None
+
+    # ---- transport flow accounting -----------------------------------------
+
+    def comm_totals(self) -> dict[str, float]:
+        """Accumulated wire bytes per direction over rounds with ledgers.
+
+        ``rounds`` counts the records carrying a flow ledger (0 on legacy
+        histories, where every byte field is 0 too).
+        """
+        up = down = back = 0.0
+        n = 0
+        for r in self.records:
+            if r.comm is None:
+                continue
+            n += 1
+            up += r.comm.uplink_bits
+            down += r.comm.downlink_bits
+            back += r.comm.backhaul_bits
+        return {
+            "uplink_bytes": up / 8.0,
+            "downlink_bytes": down / 8.0,
+            "backhaul_bytes": back / 8.0,
+            "total_bytes": (up + down + back) / 8.0,
+            "rounds": float(n),
+        }
+
+    def comm_per_client(self) -> dict[int, float]:
+        """Accumulated *uplink* bytes per client id — the egress each device
+        actually paid, the fairness axis of the flow accounting."""
+        out: dict[int, float] = {}
+        for r in self.records:
+            if r.comm is None:
+                continue
+            for cid, bits in r.comm.uplink:
+                out[cid] = out.get(cid, 0.0) + bits / 8.0
+        return out
 
     # ---- Fig. 6: time breakdown --------------------------------------------
 

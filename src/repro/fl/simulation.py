@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.compression.base import CompressedUpdate, SparseUpdate
 from repro.compression.registry import make_compressor
+from repro.compression.sparsifiers import k_from_ratio
 from repro.core.aggregation import weighted_sparse_sum
 from repro.core.opwa import opwa_mask_from_updates
 from repro.core.server_opt import make_server_optimizer
@@ -31,10 +32,11 @@ from repro.fl.algorithms import Algorithm, make_algorithm
 from repro.fl.client import Client
 from repro.fl.config import ExperimentConfig
 from repro.fl.engine import EngineMixin, build_config_model
-from repro.fl.history import History, RoundRecord
+from repro.fl.history import History, RoundComm, RoundRecord
 from repro.fl.sampler import UniformSampler
 from repro.network.cost import LinkSpec, model_bits
 from repro.network.links import PAPER_LINK_MODEL, TimeVaryingLink, sample_links
+from repro.network.transport import Payload, Transport
 from repro.nn.params import get_flat_params, num_parameters, set_flat_params
 from repro.simtime.events import SpanLog
 from repro.simtime.profiles import pipeline_times, sample_device_profiles
@@ -129,6 +131,17 @@ class Simulation(EngineMixin):
             else None
         )
 
+        # Unified transport (repro.network.transport): every transfer is
+        # priced through it. Compressed uploads are priced from the *actual*
+        # emitted bits — unless the run simulates a paper-scale volume
+        # (volume_override_bits), where the trained model is smaller than
+        # the priced one and the planned-ratio approximation must stand in.
+        self.transport = Transport.from_config(config)
+        self.dense_size = num_parameters(self.model)
+        self._price_from_updates = (
+            self.compressors is not None and config.volume_override_bits is None
+        )
+
         # Server optimizer over the aggregated pseudo-gradient (FedOpt family;
         # plain SGD with lr=server_step and no momentum is Algorithm 1 verbatim).
         self.server_opt = self._make_server_opt()
@@ -210,12 +223,31 @@ class Simulation(EngineMixin):
             return
         self._average_states_into(self.global_states, freqs, state_arrays_per_client)
 
-    def _price_dispatch(
-        self, cid: int, ratio: float | None, t: float, tag: int
-    ) -> tuple[float, float, float]:
-        """(download, train, upload) virtual durations of one dispatch at
-        ``t``, with its train/upload spans logged for the timeline view."""
+    def _payload_for(self, update: CompressedUpdate | None, ratio: float | None) -> Payload:
+        """What this dispatch puts on the wire.
+
+        Priced from the *actual emitted* update whenever one exists — sparse
+        and quantized encodings alike; for deferred training (async
+        dispatch) the Top-K wire size is predicted exactly
+        (``k_from_ratio`` entries of (index, value) pairs — the same count
+        the compressor will emit). The planned-ratio × factor-2
+        approximation remains only for ``volume_override_bits`` runs.
+        """
+        if not self._price_from_updates:
+            return Payload.planned(self.volume_bits, ratio)
+        if update is not None:
+            return Payload.from_update(update)
+        if ratio is None:
+            return Payload.dense(self.volume_bits)
+        return Payload.sparse(k_from_ratio(self.dense_size, float(ratio)))
+
+    def _stage_dispatch(
+        self, cid: int, ratio: float | None, update: CompressedUpdate | None
+    ) -> tuple[Payload, float, float, float]:
+        """(payload, download, train, exclusive-upload) of one dispatch —
+        the single pricing computation every protocol path shares."""
         cfg = self.config
+        payload = self._payload_for(update, ratio)
         down, train_t, up = pipeline_times(
             self.devices[cid],
             volume_bits=self.volume_bits,
@@ -225,11 +257,88 @@ class Simulation(EngineMixin):
             include_downlink=cfg.include_downlink,
             downlink_factor=cfg.downlink_factor,
             link=self.links[cid],
+            payload=payload,
         )
+        return payload, down, train_t, up
+
+    def _price_dispatch(
+        self,
+        cid: int,
+        ratio: float | None,
+        t: float,
+        tag: int,
+        *,
+        update: CompressedUpdate | None = None,
+    ) -> tuple[float, float, float, Payload]:
+        """(download, train, upload, payload) of one dispatch at ``t``.
+
+        Upload time is the *exclusive-link* price; contended transports
+        resolve the real finish later (the upload span is then logged at
+        resolution, not here).
+        """
+        payload, down, train_t, up = self._stage_dispatch(cid, ratio, update)
         t0 = t + down
         self.spans.add(cid, "train", t0, t0 + train_t, tag=tag)
-        self.spans.add(cid, "upload", t0 + train_t, t0 + train_t + up, tag=tag)
-        return down, train_t, up
+        if not self.transport.contended:
+            self.spans.add(cid, "upload", t0 + train_t, t0 + train_t + up, tag=tag)
+        return down, train_t, up, payload
+
+    def _price_round(
+        self,
+        selected,
+        ratios,
+        updates: list[CompressedUpdate] | None,
+        t: float,
+        tag: int,
+    ) -> tuple[list[float], list[float], list[float]]:
+        """Price one synchronized batch of dispatches starting at ``t``.
+
+        Returns (per-dispatch pipeline durations, uplink bits, downlink
+        bits), aligned with ``selected``. Exclusive transports keep the
+        historical per-link arithmetic bit-for-bit; fair transports admit
+        every upload into one fresh ingress epoch and water-fill, so the
+        round's finish times reflect server-side bandwidth sharing.
+        """
+        cfg = self.config
+        staged = []
+        for pos, cid in enumerate(selected):
+            cid = int(cid)
+            ratio = None if ratios is None else float(ratios[pos])
+            update = None if updates is None else updates[pos]
+            payload, down, train_t, up = self._stage_dispatch(cid, ratio, update)
+            staged.append((cid, payload, down, train_t, up))
+
+        ends: list[float] | None = None
+        if self.transport.contended:
+            flows = [
+                (payload, self.links[cid], (t + down) + train_t)
+                for cid, payload, down, train_t, _ in staged
+            ]
+            ends = [rec.end for rec in self.transport.resolve_uploads(flows)]
+
+        durations: list[float] = []
+        up_bits: list[float] = []
+        down_bits: list[float] = []
+        for pos, (cid, payload, down, train_t, up) in enumerate(staged):
+            t0 = t + down
+            self.spans.add(cid, "train", t0, t0 + train_t, tag=tag)
+            if ends is None:
+                self.spans.add(cid, "upload", t0 + train_t, t0 + train_t + up, tag=tag)
+                durations.append(down + train_t + up)
+            else:
+                self.spans.add(cid, "upload", t0 + train_t, ends[pos], tag=tag)
+                durations.append(ends[pos] - t)
+            up_bits.append(payload.bits)
+            down_bits.append(self.volume_bits if cfg.include_downlink else 0.0)
+        return durations, up_bits, down_bits
+
+    @staticmethod
+    def _comm_maps(selected, bits_list) -> dict[int, float]:
+        """Accumulate a per-endpoint bits map (ids may repeat)."""
+        out: dict[int, float] = {}
+        for cid, bits in zip(selected, bits_list):
+            out[int(cid)] = out.get(int(cid), 0.0) + bits
+        return out
 
     # ------------------------------------------------------------------ round
 
@@ -282,19 +391,22 @@ class Simulation(EngineMixin):
         # slowest *aggregated* client has downloaded, computed, and
         # uploaded. Clients the plan zero-weighted (deadline_topk drops
         # stragglers) still burn device time — their spans are logged —
-        # but the server does not wait for them.
+        # but the server does not wait for them. Uploads are priced through
+        # the transport from the actually-emitted payloads; with fair
+        # contention the round is one shared-ingress epoch.
         sim_start = self.sim_clock
+        durations, up_bits, down_bits = self._price_round(
+            selected, plan.ratios, updates, sim_start, tag=self.round_index
+        )
         round_span = 0.0
-        for pos, cid in enumerate(selected):
-            down, train_t, up = self._price_dispatch(
-                int(cid),
-                None if plan.ratios is None else float(plan.ratios[pos]),
-                sim_start,
-                tag=self.round_index,
-            )
+        for pos in range(len(selected)):
             if plan.weights[pos] > 0:
-                round_span = max(round_span, down + train_t + up)
+                round_span = max(round_span, durations[pos])
         self.sim_clock = sim_start + round_span
+        comm = RoundComm.from_maps(
+            uplink=self._comm_maps(selected, up_bits),
+            downlink=self._comm_maps(selected, down_bits),
+        )
 
         record = RoundRecord(
             round_index=self.round_index,
@@ -310,6 +422,7 @@ class Simulation(EngineMixin):
             sim_start=sim_start,
             sim_end=self.sim_clock,
             mean_staleness=0.0,
+            comm=comm,
         )
         self.history.append(record)
         self.round_index += 1

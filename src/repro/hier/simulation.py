@@ -32,10 +32,11 @@ import numpy as np
 from repro.compression.base import CompressedUpdate, SparseUpdate
 from repro.exec import ClientTask
 from repro.fl.config import ExperimentConfig
-from repro.fl.history import EdgeRecord, RoundRecord
+from repro.fl.history import EdgeRecord, RoundComm, RoundRecord
 from repro.fl.simulation import Simulation
 from repro.hier.topology import TierTopology, build_tier_topology
 from repro.network.metrics import RoundTimes
+from repro.network.transport import Payload
 from repro.utils.rng import RngFactory
 
 __all__ = ["HierSimulation"]
@@ -110,21 +111,14 @@ class HierSimulation(Simulation):
         )
         updates: list[CompressedUpdate] = [r.update for r in results]
 
-        # Price every dispatch at the edge's clock; durations are the
-        # deterministic download+compute+upload pipeline per client.
-        durations = np.array(
-            [
-                sum(
-                    self._price_dispatch(
-                        int(cid),
-                        None if plan.ratios is None else float(plan.ratios[pos]),
-                        t_start,
-                        tag=self.round_index,
-                    )
-                )
-                for pos, cid in enumerate(selected)
-            ]
+        # Price every dispatch at the edge's clock through the transport:
+        # payload-accurate uploads, and under fair contention one shared
+        # ingress epoch per (edge, sub-round) — each edge aggregator owns
+        # its own ingress capacity.
+        durs, up_bits, down_bits = self._price_round(
+            selected, plan.ratios, updates, t_start, tag=self.round_index
         )
+        durations = np.array(durs)
 
         weights = np.asarray(plan.weights, dtype=np.float64)
         if cfg.edge_sync == "semisync" and len(selected) > 1:
@@ -195,6 +189,8 @@ class HierSimulation(Simulation):
             "compress_seconds": sum(r.compress_seconds for r in results),
             "singleton": singleton,
             "updates": updates,
+            "up_bits": up_bits,
+            "down_bits": down_bits,
         }
         return float(span), plan.times, fragments
 
@@ -216,9 +212,11 @@ class HierSimulation(Simulation):
 
         # Cloud→edge broadcast opens the round (charged only when downlink
         # accounting is on, mirroring the client tier). Backhaul links are
-        # provisioned symmetric, so no residential downlink factor.
+        # provisioned symmetric, so no residential downlink factor; the
+        # broadcast is exclusive (contention models the shared *ingress*).
+        dense_model = Payload.dense(self.volume_bits)
         backhaul_down = [
-            self.topology.backhaul_downlink_time(e, self.volume_bits)
+            self.transport.broadcast_seconds(self.topology.backhaul_links[e], dense_model)
             if cfg.include_downlink
             else 0.0
             for e in range(E)
@@ -237,6 +235,8 @@ class HierSimulation(Simulation):
         edge_selected: list[list[int]] = [[] for _ in range(E)]
         train_seconds = compress_seconds = 0.0
         round_updates: list[CompressedUpdate] = []
+        up_map: dict[int, float] = {}
+        down_map: dict[int, float] = {}
 
         # Sub-rounds advance lock-step across edges only in *stream order*:
         # edges are independent in virtual time (each has its own clock),
@@ -260,14 +260,39 @@ class HierSimulation(Simulation):
                 train_seconds += frag["train_seconds"]
                 compress_seconds += frag["compress_seconds"]
                 round_updates.extend(frag["updates"])
+                for cid, bits in zip(frag["selected"], frag["up_bits"]):
+                    up_map[cid] = up_map.get(cid, 0.0) + bits
+                for cid, bits in zip(frag["selected"], frag["down_bits"]):
+                    down_map[cid] = down_map.get(cid, 0.0) + bits
         self.last_round_updates = round_updates
 
         # Edge→cloud uploads (dense edge models over the backhaul), then the
         # cloud averages edge models by group data size — two-level FedAvg.
-        backhaul_up = [
-            self.topology.backhaul_uplink_time(e, self.volume_bits) for e in range(E)
-        ]
+        # Under fair contention the E backhaul uploads share the *cloud's*
+        # ingress capacity (one water-filled epoch per cloud round).
+        if self.transport.contended:
+            billed = [
+                (e, self.topology.backhaul_links[e])
+                for e in range(E)
+                if self.topology.backhaul_links[e] is not None
+            ]
+            recs = self.transport.resolve_uploads(
+                [(dense_model, link, sim_start + elapsed[e]) for e, link in billed],
+                direction="backhaul",
+            )
+            backhaul_up = [0.0] * E
+            for (e, _), rec in zip(billed, recs):
+                backhaul_up[e] = rec.seconds
+        else:
+            backhaul_up = [
+                self.topology.backhaul_uplink_time(e, self.volume_bits) for e in range(E)
+            ]
         edge_totals = [elapsed[e] + backhaul_up[e] for e in range(E)]
+
+        backhaul_map: dict[int, float] = {}
+        for e in range(E):
+            if self.topology.backhaul_links[e] is not None:
+                backhaul_map[e] = self.volume_bits * (2.0 if cfg.include_downlink else 1.0)
 
         merged = [self.global_params]  # the edge tier's averaging kernel,
         self._average_states_into(  # applied once at the cloud tier
@@ -317,6 +342,9 @@ class HierSimulation(Simulation):
             sim_end=self.sim_clock,
             mean_staleness=0.0,
             edge_breakdown=breakdown,
+            comm=RoundComm.from_maps(
+                uplink=up_map, downlink=down_map, backhaul=backhaul_map
+            ),
         )
         self.history.append(record)
         self.round_index += 1

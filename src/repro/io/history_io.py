@@ -6,7 +6,7 @@ import csv
 import json
 from pathlib import Path
 
-from repro.fl.history import EdgeRecord, History, RoundRecord
+from repro.fl.history import EdgeRecord, History, RoundComm, RoundRecord
 from repro.network.metrics import RoundTimes
 
 __all__ = ["history_to_dict", "history_from_dict", "save_history", "load_history", "export_curves_csv"]
@@ -48,6 +48,13 @@ def history_to_dict(history: History) -> dict:
                     }
                     for e in r.edge_breakdown
                 ],
+                "comm": None
+                if r.comm is None
+                else {
+                    "uplink": [[cid, bits] for cid, bits in r.comm.uplink],
+                    "downlink": [[cid, bits] for cid, bits in r.comm.downlink],
+                    "backhaul": [[eid, bits] for eid, bits in r.comm.backhaul],
+                },
             }
             for r in history.records
         ]
@@ -92,6 +99,14 @@ def history_from_dict(data: dict) -> History:
                         end=float(e["end"]),
                     )
                     for e in rec["edge_breakdown"]
+                ),
+                # Pre-transport files carry no flow ledger at all.
+                comm=None
+                if rec.get("comm") is None
+                else RoundComm(
+                    uplink=tuple((int(c), float(b)) for c, b in rec["comm"]["uplink"]),
+                    downlink=tuple((int(c), float(b)) for c, b in rec["comm"]["downlink"]),
+                    backhaul=tuple((int(c), float(b)) for c, b in rec["comm"]["backhaul"]),
                 ),
             )
         )

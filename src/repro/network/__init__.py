@@ -1,5 +1,12 @@
-"""Network substrate: the paper's cost model, link sampling, and time metrics."""
+"""Network substrate: cost model, transport layer, link sampling, metrics."""
 
+from repro.network.transport import (
+    CONTENTION_MODES,
+    IngressPipe,
+    Payload,
+    Transport,
+    TransferRecord,
+)
 from repro.network.cost import (
     SPARSE_VOLUME_FACTOR,
     LinkSpec,
@@ -25,4 +32,9 @@ __all__ = [
     "RoundTimes",
     "TimeAccumulator",
     "StarTopology",
+    "Payload",
+    "TransferRecord",
+    "IngressPipe",
+    "Transport",
+    "CONTENTION_MODES",
 ]

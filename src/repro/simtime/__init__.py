@@ -11,11 +11,12 @@ cost model (Eq. 4):
 - :mod:`repro.simtime.profiles` — per-device timing: :class:`ComputeSpec`
   (seconds per sample), :class:`DeviceProfile` (compute + link draw),
   :class:`TraceProfile` (trace-driven speeds);
-- :mod:`repro.simtime.protocols` — two event-driven training protocols on
-  top of the queue: :class:`AsyncSimulation` (FedBuff-style buffered
-  aggregation with staleness-weighted updates) and
-  :class:`SemiSyncSimulation` (deadline-based rounds where late updates
-  carry over or drop).
+- :mod:`repro.simtime.protocols` — two event-driven training protocols
+  whose upload completions come from the transport layer's ingress pipe
+  (:mod:`repro.network.transport` — exclusive links or fair-shared server
+  ingress): :class:`AsyncSimulation` (FedBuff-style buffered aggregation
+  with staleness-weighted updates) and :class:`SemiSyncSimulation`
+  (deadline-based rounds where late updates carry over or drop).
 
 Select a protocol with ``ExperimentConfig(mode="sync"|"semisync"|"async")``
 and build it via :func:`make_simulation`.

@@ -6,6 +6,13 @@ Ties at the same virtual timestamp pop in insertion order, and insertion
 order is itself deterministic in a seeded run, so the full event trace —
 and everything derived from it (dispatch order, aggregation membership,
 staleness) — is bit-identical across execution backends.
+
+Upload arrivals themselves are now scheduled by the transport layer's
+:class:`~repro.network.transport.IngressPipe`, which honors the same
+``(finish, admission order)`` contract while supporting contended
+(fair-shared) finish times; this queue remains the general-purpose
+scheduling primitive (and the :class:`SpanLog` stays the event log every
+protocol writes).
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.network.cost import LinkSpec, downlink_time, sparse_uplink_time, uplink_time
+from repro.network.transport import Payload
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive
 
@@ -102,10 +103,24 @@ class DeviceProfile:
         return self.compute.train_time(num_samples, epochs)
 
     def upload_time(
-        self, volume_bits: float, ratio: float | None, *, link: LinkSpec | None = None
+        self,
+        volume_bits: float,
+        ratio: float | None,
+        *,
+        link: LinkSpec | None = None,
+        payload: Payload | None = None,
     ) -> float:
-        """Uplink time for a dense (``ratio=None``) or sparsified update."""
+        """Uplink time of one update on an exclusive link.
+
+        With a :class:`~repro.network.transport.Payload` the transfer is
+        priced from its *exact* wire bits (Eq. 4 on what was actually
+        emitted — quantized and sparse encodings included); without one it
+        falls back to the planned-ratio approximation (dense volume, or
+        ``SPARSE_VOLUME_FACTOR × V × CR`` for ``ratio`` set).
+        """
         link = self.link if link is None else link
+        if payload is not None:
+            return uplink_time(link, payload.bits)
         if ratio is None:
             return uplink_time(link, volume_bits)
         return sparse_uplink_time(link, volume_bits, float(ratio))
@@ -160,12 +175,14 @@ def pipeline_times(
     include_downlink: bool,
     downlink_factor: float,
     link: LinkSpec | None = None,
+    payload: Payload | None = None,
 ) -> tuple[float, float, float]:
     """(download, train, upload) virtual durations for one dispatch.
 
     The downlink stage is 0 when ``include_downlink`` is off, matching the
     paper's uplink-only accounting (Sec. 3.3); pass the client's *current*
-    ``link`` when links drift round-to-round.
+    ``link`` when links drift round-to-round, and the upload's ``payload``
+    to price the exact emitted bits instead of the ratio plan.
     """
     down = (
         device.download_time(volume_bits, bandwidth_factor=downlink_factor, link=link)
@@ -173,5 +190,5 @@ def pipeline_times(
         else 0.0
     )
     train = device.train_time(num_samples, epochs)
-    up = device.upload_time(volume_bits, ratio, link=link)
+    up = device.upload_time(volume_bits, ratio, link=link, payload=payload)
     return down, train, up

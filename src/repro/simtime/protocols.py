@@ -10,16 +10,21 @@ virtual clock:
   does not depend on virtual time, only on the model snapshot);
 - the *virtual cost* of that dispatch — download + compute + upload — is
   priced from the client's :class:`~repro.simtime.profiles.DeviceProfile`
-  and the paper's Eq. 4 cost model, and an arrival event is scheduled;
-- the server reacts to arrivals: :class:`AsyncSimulation` aggregates every
-  ``buffer_size`` arrivals with staleness-discounted weights (FedBuff),
-  :class:`SemiSyncSimulation` closes each round at a deadline and lets late
-  updates carry over (stale) or drop.
+  through the unified transport (:mod:`repro.network.transport`): the
+  download/compute stages are exclusive, the upload enters the server's
+  ingress pipe, which either resolves it immediately (``contention="none"``,
+  Eq. 4 on the payload's exact bits) or water-fills it against every other
+  in-flight upload (``contention="fair"``);
+- the server reacts to upload completions: :class:`AsyncSimulation`
+  aggregates every ``buffer_size`` arrivals with staleness-discounted
+  weights (FedBuff), :class:`SemiSyncSimulation` closes each round at a
+  deadline and lets late updates carry over (stale) or drop.
 
 Determinism: dispatch order, arrival order, and aggregation membership are
-pure functions of the config seed (event ties break by insertion order), so
-seeded runs are bit-identical across serial/thread/process backends — the
-same contract :mod:`repro.exec` enforces for the synchronous engine.
+pure functions of the config seed (completion ties break by admission
+order), so seeded runs are bit-identical across serial/thread/process
+backends — the same contract :mod:`repro.exec` enforces for the synchronous
+engine, extended to contended transfers.
 """
 
 from __future__ import annotations
@@ -32,10 +37,10 @@ import numpy as np
 from repro.compression.base import CompressedUpdate, SparseUpdate
 from repro.exec import ClientTask, TaskResult
 from repro.fl.config import ExperimentConfig
-from repro.fl.history import RoundRecord
+from repro.fl.history import RoundComm, RoundRecord
 from repro.fl.simulation import Simulation
 from repro.network.metrics import RoundTimes
-from repro.simtime.events import EventQueue
+from repro.network.transport import Payload
 from repro.utils.rng import RngFactory
 
 __all__ = ["AsyncSimulation", "SemiSyncSimulation"]
@@ -59,11 +64,14 @@ class _Pending:
     ratio: float | None
     version: int  # global-model version the client trained from
     t_dispatch: float
-    t_arrival: float
-    duration: float  # download + compute + upload
+    t_arrival: float  # exclusive-link prediction; overwritten on contended pipes
+    duration: float  # download + compute + upload (exclusive-link prediction)
     upload: float  # the communication (uplink) part alone
     downlink: float
     result: TaskResult | None = None
+    payload: Payload | None = None  # what the upload puts on the wire
+    fid: int = -1  # transport flow id of the upload
+    up_start: float = 0.0  # when the upload entered the ingress
 
 
 class _EventDrivenSimulation(Simulation):
@@ -71,7 +79,13 @@ class _EventDrivenSimulation(Simulation):
 
     def __init__(self, config: ExperimentConfig):
         super().__init__(config)
-        self.queue = EventQueue()
+        # The server's ingress: upload completions come back from this pipe
+        # in deterministic (finish, admission) order — exclusive links
+        # reproduce the historical event-queue arrival order bit-for-bit,
+        # fair contention water-fills the in-flight flows.
+        self._pipe = self.transport.pipe("server")
+        self._flights: dict[int, _Pending] = {}  # flow id → in-flight dispatch
+        self._window_down: list[int] = []  # cids broadcast to since last record
         self.now = 0.0
         self.version = 0  # bumps once per aggregation
         self._untrained: list[_Pending] = []  # dispatched, training deferred
@@ -87,13 +101,19 @@ class _EventDrivenSimulation(Simulation):
     def _dispatch(
         self, cid: int, ratio: float | None, t: float, result: TaskResult | None = None
     ) -> _Pending:
-        """Schedule a dispatch's arrival on the virtual clock.
+        """Enter a dispatch's upload into the server ingress.
 
         With ``result=None`` training is deferred until :meth:`_flush_training`
-        (one backend batch per aggregation window instead of one per dispatch).
+        (one backend batch per aggregation window instead of one per dispatch);
+        the upload is then priced from the predicted Top-K wire size, which
+        for deterministic-``k`` sparsifiers equals the emitted bits.
         """
-        down, train_t, up = self._price_dispatch(cid, ratio, t, tag=self.version)
+        update = None if result is None else result.update
+        down, train_t, up, payload = self._price_dispatch(
+            cid, ratio, t, tag=self.version, update=update
+        )
         duration = down + train_t + up
+        up_start = (t + down) + train_t
         pend = _Pending(
             cid=cid,
             ratio=ratio,
@@ -104,11 +124,44 @@ class _EventDrivenSimulation(Simulation):
             upload=up,
             downlink=down,
             result=result,
+            payload=payload,
+            up_start=up_start,
         )
         if result is None:
             self._untrained.append(pend)
-        self.queue.push(pend.t_arrival, "arrival", cid=cid, payload=pend)
+        if self.transport.contended:
+            pend.fid = self._pipe.admit(payload.bits, self.links[cid], up_start)
+        else:
+            # Exclusive links: hand the pipe the already-priced finish so the
+            # historical arrival arithmetic survives bit-for-bit.
+            pend.fid = self._pipe.admit(
+                payload.bits, self.links[cid], up_start, finish=pend.t_arrival
+            )
+        self._flights[pend.fid] = pend
+        self._window_down.append(cid)
         return pend
+
+    def _resolve_arrival(self, t_fin: float, fid: int) -> _Pending:
+        """Consume one upload completion from the ingress pipe."""
+        pend = self._flights.pop(fid)
+        if self.transport.contended:
+            pend.t_arrival = t_fin
+            pend.upload = t_fin - pend.up_start
+            self.spans.add(pend.cid, "upload", pend.up_start, t_fin, tag=pend.version)
+        return pend
+
+    def _window_comm(self, contributions: list[_Pending]) -> RoundComm:
+        """Flow ledger of one aggregation window: contributed uplink bits
+        plus (when downlink accounting is on) this window's broadcasts."""
+        up_map: dict[int, float] = {}
+        for p in contributions:
+            up_map[p.cid] = up_map.get(p.cid, 0.0) + p.payload.bits
+        down_map: dict[int, float] = {}
+        if self.config.include_downlink:
+            for cid in self._window_down:
+                down_map[cid] = down_map.get(cid, 0.0) + self.volume_bits
+        self._window_down = []
+        return RoundComm.from_maps(uplink=up_map, downlink=down_map)
 
     def _flush_training(self) -> None:
         """Train every deferred dispatch, batched per aggregation window.
@@ -219,6 +272,7 @@ class _EventDrivenSimulation(Simulation):
     ) -> RoundRecord:
         """Build/append the aggregation's record (evaluation on cadence)."""
         lags = [self.version - 1 - p.version for p in contributions]
+        comm = self._window_comm(contributions)
         record = RoundRecord(
             round_index=self.round_index,
             selected=selected,
@@ -235,6 +289,7 @@ class _EventDrivenSimulation(Simulation):
             sim_start=sim_start,
             sim_end=sim_end,
             mean_staleness=float(np.mean(lags)) if lags else 0.0,
+            comm=comm,
         )
         self.history.append(record)
         self.round_index += 1
@@ -324,9 +379,12 @@ class AsyncSimulation(_EventDrivenSimulation):
             self._prime()
         K = self.config.async_buffer_size
         while len(self._buffer) < K:
-            ev = self.queue.pop()
-            self.now = ev.time
-            pend: _Pending = ev.payload
+            nxt = self._pipe.pop_next()
+            if nxt is None:
+                raise RuntimeError("async protocol has no uploads in flight")
+            t_fin, fid = nxt
+            self.now = t_fin
+            pend = self._resolve_arrival(t_fin, fid)
             self._in_flight.discard(pend.cid)
             self._buffer.append(pend)
             # Refill the slot: uniform over idle clients (the arrived client
@@ -426,33 +484,36 @@ class SemiSyncSimulation(_EventDrivenSimulation):
             deadline = 0.0  # no dispatches: the round exists only to drain arrivals
         t_end = t0 + deadline
 
-        if not self.queue:
+        if not self._flights:
             raise RuntimeError("semi-sync round has no dispatches and no pending arrivals")
-        # Nothing would land in the window → extend to the earliest arrival.
-        if self.queue.peek().time > t_end + _EPS:
-            t_end = self.queue.peek().time
+        arrivals = self._pipe.pop_until(t_end + _EPS)
+        if not arrivals:
+            # Nothing would land in the window → extend to the earliest
+            # completion (exact even under contention: no flow can be
+            # admitted before the next round, which starts at the new end).
+            t_end = self._pipe.peek_next()[0]
+            arrivals = self._pipe.pop_until(t_end + _EPS)
 
         contributions: list[_Pending] = []
-        while self.queue and self.queue.peek().time <= t_end + _EPS:
-            pend = self.queue.pop().payload
+        for t_fin, fid in arrivals:
+            pend = self._resolve_arrival(t_fin, fid)
             self._busy.discard(pend.cid)
             contributions.append(pend)
         own_arrived = {p.cid for p in contributions if p.version == self.version}
 
-        # Late updates: carry over (device keeps uploading; arrival event
-        # stays queued and the client stays busy) or drop (abandoned at the
-        # deadline; the queued arrival is discarded wholesale below).
+        # Late updates: carry over (device keeps uploading; its flow stays
+        # in the ingress and the client stays busy) or drop (abandoned at
+        # the deadline; the flow is cancelled, freeing its ingress share).
         late = [p for p in own if p.cid not in own_arrived]
         if cfg.late_policy == "carryover":
             self._busy.update(p.cid for p in late)
         else:
-            drop = {id(p) for p in late}
-            keep = EventQueue()
-            while self.queue:
-                ev = self.queue.pop()
-                if id(ev.payload) not in drop:
-                    keep.push(ev.time, ev.kind, cid=ev.cid, payload=ev.payload)
-            self.queue = keep
+            for p in late:
+                self._pipe.cancel(p.fid)
+                del self._flights[p.fid]
+                if self.transport.contended and t_end > p.up_start:
+                    # What the device did transmit before abandoning.
+                    self.spans.add(p.cid, "upload", p.up_start, t_end, tag=p.version)
 
         # Weights on a common scale: the staleness-discounted data
         # frequencies (normalized over the contributors) decide how much

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ascii_plot", "ascii_bars", "ascii_timeline", "ascii_tier_tree"]
+__all__ = ["ascii_plot", "ascii_bars", "ascii_timeline", "ascii_tier_tree", "ascii_comm_table"]
 
 _MARKERS = "abcdefghijklmnopqrstuvwxyz"
 
@@ -168,6 +168,72 @@ def ascii_tier_tree(topology, breakdown=None) -> str:
                 f"{trunk}{leaf} c{cid}  {_fmt_bps(cl.bandwidth_bps)} "
                 f"{cl.latency_s * 1e3:.3g}ms"
             )
+    return "\n".join(lines)
+
+
+def _fmt_bytes(n: float) -> str:
+    """Human volume: 512B, 24.2kB, 1.5MB, 2.1GB."""
+    for cut, suffix in ((1e9, "GB"), (1e6, "MB"), (1e3, "kB")):
+        if n >= cut:
+            return f"{n / cut:.3g}{suffix}"
+    return f"{n:.3g}B"
+
+
+def ascii_comm_table(history, *, top: int = 5) -> str:
+    """End-to-end flow accounting table from a run's transport ledgers.
+
+    ``history`` is duck-typed: an object with ``records`` whose entries
+    carry a :class:`~repro.fl.history.RoundComm` in ``comm`` (None entries
+    — legacy histories — are skipped). One row per direction (wire bytes,
+    transfer count, share of the total), plus the ``top`` clients by
+    accumulated uplink bytes — the devices actually paying for the run.
+    """
+    totals = {"uplink": 0.0, "downlink": 0.0, "backhaul": 0.0}
+    counts = {"uplink": 0, "downlink": 0, "backhaul": 0}
+    per_client: dict[int, float] = {}
+    rounds = 0
+    for r in history.records:
+        comm = r.comm
+        if comm is None:
+            continue
+        rounds += 1
+        for direction in totals:
+            entries = getattr(comm, direction)
+            totals[direction] += sum(b for _, b in entries) / 8.0
+            counts[direction] += len(entries)
+        for cid, bits in comm.uplink:
+            per_client[cid] = per_client.get(cid, 0.0) + bits / 8.0
+    if rounds == 0:
+        return "(no flow ledgers recorded)"
+
+    grand = sum(totals.values()) or 1.0
+    headers = ["direction", "transfers", "bytes", "share", "per round"]
+    rows = [
+        [
+            d,
+            str(counts[d]),
+            _fmt_bytes(totals[d]),
+            f"{100.0 * totals[d] / grand:.1f}%",
+            _fmt_bytes(totals[d] / rounds),
+        ]
+        for d in ("uplink", "downlink", "backhaul")
+    ]
+    rows.append(
+        ["total", str(sum(counts.values())), _fmt_bytes(sum(totals.values())), "100.0%",
+         _fmt_bytes(sum(totals.values()) / rounds)]
+    )
+    widths = [max(len(h), max(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers), "  ".join("-" * w for w in widths)] + [fmt(r) for r in rows]
+    if per_client:
+        talkers = sorted(per_client.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+        lines.append(
+            "top uplink clients: "
+            + "  ".join(f"c{cid} {_fmt_bytes(v)}" for cid, v in talkers)
+        )
     return "\n".join(lines)
 
 

@@ -96,3 +96,35 @@ class TestHierCommand:
         assert rc == 0
         data = json.loads((tmp_path / "h.edges2.json").read_text())
         assert data["records"][0]["edge_breakdown"] is not None
+
+    def test_comm_summary(self, capsys):
+        rc = main(["comm", "--algorithm", "topk", *FAST_ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "uplink" in out and "direction" in out
+        assert "contention none" in out
+
+    def test_comm_with_fair_contention(self, capsys):
+        rc = main([
+            "comm", "--algorithm", "topk", "--contention", "fair",
+            "--ingress-mbps", "1.5", *FAST_ARGS,
+        ])
+        assert rc == 0
+        assert "contention fair" in capsys.readouterr().out
+
+    def test_run_contention_knobs_reach_config(self, capsys):
+        rc = main([
+            "run", "--algorithm", "topk", "--contention", "fair",
+            "--ingress-mbps", "2", *FAST_ARGS,
+        ])
+        assert rc == 0
+        assert "final accuracy" in capsys.readouterr().out
+
+    def test_comm_saves_ledger(self, tmp_path, capsys):
+        hist = tmp_path / "h.json"
+        rc = main([
+            "comm", "--algorithm", "topk", "--save-history", str(hist), *FAST_ARGS,
+        ])
+        assert rc == 0
+        data = json.loads(hist.read_text())
+        assert data["records"][0]["comm"]["uplink"]
