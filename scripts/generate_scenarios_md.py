@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate docs/SCENARIOS.md from the scenario registry.
+
+The cookbook is *generated*: every section comes from the registered
+:class:`~repro.scenarios.ScenarioSpec` objects (description, expected
+outcome, overrides, tags), so the document cannot drift from the code. CI
+regenerates it and fails on any diff.
+
+Usage:  python scripts/generate_scenarios_md.py [output_path]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.scenarios import REGISTRY, config_field_names
+
+HEADER = """\
+# Scenario cookbook
+
+One section per scenario registered in `repro.scenarios.registry` — what it
+models, the knobs it turns, and the qualitative outcome to expect. Each
+composes several of the simulator's orthogonal feature axes (round
+protocol, hierarchy, transport contention, compressor, link/compute
+heterogeneity, partition) that no single-feature test exercises together.
+
+Run one:
+
+```bash
+PYTHONPATH=src python -m repro scenario run <name>          # full budget
+PYTHONPATH=src python -m repro scenario run <name> --rounds 4   # smoke
+```
+
+Sweep a grid over one (resumable, parallel):
+
+```bash
+PYTHONPATH=src python -m repro sweep --scenario <name> \\
+    --grid compression_ratio=0.01,0.1 --seeds 2 --parallel 4 --store runs/
+```
+
+> **Generated file — do not edit.** Regenerate with
+> `python scripts/generate_scenarios_md.py docs/SCENARIOS.md`
+> (CI checks for drift).
+
+## Index
+
+| scenario | mode | algorithm | tags |
+|---|---|---|---|
+"""
+
+
+def render() -> str:
+    parts = [HEADER]
+    field_order = {name: i for i, name in enumerate(config_field_names())}
+    for spec in REGISTRY:
+        cfg = spec.to_config()
+        parts.append(
+            f"| [`{spec.name}`](#{spec.name}) | {cfg.mode} | {cfg.algorithm} "
+            f"| {', '.join(spec.tags)} |\n"
+        )
+    for spec in REGISTRY:
+        cfg = spec.to_config()
+        lines = [f"\n## {spec.name}\n"]
+        lines.append(f"*tags: {', '.join(spec.tags)} · spec hash `{spec.spec_hash()}`*\n")
+        lines.append(f"\n{spec.description}\n")
+        lines.append(f"\n**Expected outcome.** {spec.expected}\n")
+        lines.append("\n**Knobs (vs `ExperimentConfig` defaults):**\n\n")
+        lines.append("| field | value |\n|---|---|\n")
+        for name in sorted(spec.overrides, key=field_order.__getitem__):
+            lines.append(f"| `{name}` | `{spec.overrides[name]!r}` |\n")
+        lines.append(
+            f"\n```bash\nPYTHONPATH=src python -m repro scenario run {spec.name}\n```\n"
+        )
+        parts.append("".join(lines))
+    return "".join(parts)
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "docs/SCENARIOS.md"
+    doc = render()
+    with open(out_path, "w") as f:
+        f.write(doc)
+    print(f"wrote {out_path} ({len(REGISTRY)} scenarios)")
+
+
+if __name__ == "__main__":
+    main()

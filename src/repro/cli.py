@@ -11,10 +11,15 @@
     python -m repro hier --edges 1,2,5 --algorithm bcrs_opwa --backhaul-mbps 100
     python -m repro comm --dataset cifar10 --algorithm topk --cr 0.1
     python -m repro sweep --param gamma --values 3,5,7 --algorithm bcrs_opwa --cr 0.01
+    python -m repro sweep --grid gamma=3,5,7 --grid alpha=0.1,0.3 --seeds 2 --parallel 4
+    python -m repro scenario list
+    python -m repro scenario run straggler-storm
     python -m repro info
 
 ``run``/``compare``/``sweep`` accept ``--save-history out.json`` and
-``--export-csv out.csv`` for downstream plotting.
+``--export-csv out.csv`` for downstream plotting. ``sweep --store DIR``
+persists one JSON per grid cell and resumes interrupted sweeps (completed
+cells are skipped on rerun).
 """
 
 from __future__ import annotations
@@ -31,15 +36,26 @@ from repro.experiments.reporting import (
     summarize_comparison,
     summarize_hier,
     summarize_modes,
+    summarize_sweep,
 )
 from repro.experiments.runner import (
     run_comparison,
     run_hier,
     run_modes,
-    sweep as run_sweep,
 )
 from repro.fl.config import ALGORITHMS, BACKENDS, MODES
 from repro.io.history_io import export_curves_csv, save_history
+from repro.scenarios import (
+    REGISTRY,
+    RunStore,
+    ScenarioSpec,
+    SWEEP_EXECUTORS,
+    SweepRunner,
+    coerce_field,
+    expand_grid,
+    get_scenario,
+    parse_axis,
+)
 from repro.simtime import make_simulation
 
 __all__ = ["main", "build_parser"]
@@ -112,13 +128,17 @@ def _add_common(p: argparse.ArgumentParser, *, mode_flag: bool = True) -> None:
 def _config(args: argparse.Namespace, algorithm: str):
     maker = paper_config if args.paper_scale else bench_config
     overrides = {
-        "seed": args.seed,
-        "backend": args.backend,
         "workers": args.workers,
         "mode": getattr(args, "mode", "sync"),
         "deadline_s": args.deadline,
         "buffer_size": args.buffer_size,
     }
+    # `sweep` nulls these defaults so "explicitly passed" is detectable
+    # (a --scenario base must not be silently clobbered by defaults).
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
     for flag, field in (
@@ -156,11 +176,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_cmp)
 
-    p_sweep = sub.add_parser("sweep", help="sweep one config field")
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep config fields (single --param axis or multi --grid)"
+    )
     p_sweep.add_argument("--algorithm", default="bcrs_opwa", choices=ALGORITHMS)
-    p_sweep.add_argument("--param", required=True, help="config field, e.g. gamma, alpha")
-    p_sweep.add_argument("--values", required=True, help="comma-separated values")
+    p_sweep.add_argument("--param", default=None, help="config field, e.g. gamma, alpha")
+    p_sweep.add_argument("--values", default=None, help="comma-separated values for --param")
+    p_sweep.add_argument(
+        "--grid", action="append", default=None, metavar="FIELD=V1,V2,...",
+        help="one grid axis (repeatable); values are typed through the "
+             "config field's declared type, so booleans and 'none' work",
+    )
+    p_sweep.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="use a registered scenario as the grid base instead of the "
+             "preset flags",
+    )
+    p_sweep.add_argument(
+        "--seeds", type=int, default=None, metavar="K",
+        help="replicate every cell over K seeds (base seed .. base seed+K-1)",
+    )
+    p_sweep.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="max cells in flight at once (default: 1, sequential)",
+    )
+    p_sweep.add_argument(
+        "--executor", default=None, choices=SWEEP_EXECUTORS,
+        help="cell pool (default: process when --parallel > 1)",
+    )
+    p_sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="resumable run store: one JSON per cell; rerunning skips "
+             "completed cells",
+    )
+    p_sweep.add_argument(
+        "--target-acc", type=float, default=None,
+        help="also report the virtual time-to-target frontier",
+    )
     _add_common(p_sweep)
+    # Null the defaults so a --scenario base is only overridden by flags
+    # the user actually typed (see _config / _cmd_sweep).
+    p_sweep.set_defaults(seed=None, backend=None)
+
+    p_scn = sub.add_parser(
+        "scenario", help="list, show, or run registered cross-feature scenarios"
+    )
+    p_scn.add_argument("action", choices=("list", "show", "run"))
+    p_scn.add_argument("name", nargs="?", help="scenario name (for show/run)")
+    p_scn.add_argument("--rounds", type=int, default=None, help="override the budget")
+    p_scn.add_argument("--seed", type=int, default=None, help="override the seed")
+    p_scn.add_argument(
+        "--backend", default=None, choices=BACKENDS,
+        help="override the execution backend",
+    )
+    p_scn.add_argument("--workers", type=int, default=None)
+    p_scn.add_argument("--save-history", metavar="PATH", default=None)
+    p_scn.add_argument("--export-csv", metavar="PATH", default=None)
 
     p_modes = sub.add_parser(
         "modes", help="race sync vs semisync vs async on one config"
@@ -285,18 +356,152 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "sweep":
-        base = _config(args, args.algorithm)
-        raw = [v.strip() for v in args.values.split(",") if v.strip()]
-        field_type = type(getattr(base, args.param))
-        values = [field_type(v) for v in raw]
-        results = run_sweep(base, args.param, values)
-        for v in values:
-            h = results[v]
-            print(f"{args.param}={v}: final {h.final_accuracy():.4f}  "
-                  f"best {h.best_accuracy():.4f}")
-        return 0
+        return _cmd_sweep(args)
+
+    if args.command == "scenario":
+        return _cmd_scenario(args)
 
     raise AssertionError("unreachable")
+
+
+def _errmsg(exc: BaseException) -> str:
+    """The exception's message, unwrapped (KeyError str-quotes its arg)."""
+    return str(exc.args[0]) if exc.args else str(exc)
+
+
+def _layered_overrides(args: argparse.Namespace) -> dict:
+    """Engine/budget flags the user explicitly typed, as config overrides.
+
+    Shared by ``scenario run`` and ``sweep --scenario`` so a registered
+    scenario reacts to the same flags either way.
+    """
+    return {
+        field: value
+        for field, value in (
+            ("rounds", args.rounds),
+            ("seed", args.seed),
+            ("backend", args.backend),
+            ("workers", args.workers),
+        )
+        if value is not None
+    }
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """The generalized sweep: typed axes, grids, parallelism, resume."""
+    axes: dict[str, list] = {}
+    try:
+        if (args.param is None) != (args.values is None):
+            raise ValueError("--param and --values go together")
+        if args.param is not None:
+            # The single-axis legacy spelling; values are typed through the
+            # dataclass field type (booleans and 'none' included) instead
+            # of the old stringify-then-cast, which mangled both.
+            axes[args.param] = [
+                coerce_field(args.param, v.strip())
+                for v in args.values.split(",")
+                if v.strip()
+            ]
+            if not axes[args.param]:
+                raise ValueError("--values is empty")
+        for text in args.grid or []:
+            name, values = parse_axis(text)
+            if name in axes:
+                raise ValueError(f"axis {name!r} given twice")
+            axes[name] = values
+        if not axes:
+            raise ValueError("nothing to sweep: give --param/--values or --grid")
+        if args.scenario is not None:
+            # The scenario is the base; explicitly-typed engine/budget flags
+            # layer on top (like `scenario run`); the preset flags
+            # (--dataset, --cr, ...) don't apply — vary those as grid axes.
+            base = get_scenario(args.scenario)
+            layered = _layered_overrides(args)
+            if layered:
+                base = base.with_overrides(**layered)
+        else:
+            base = ScenarioSpec.from_config(_config(args, args.algorithm), name="sweep")
+        cells = expand_grid(base, axes, seeds=args.seeds)
+        for cell in cells:
+            cell.to_config()  # surface cross-field errors before running
+        store = RunStore(args.store) if args.store else None
+        runner = SweepRunner(
+            cells, parallel=args.parallel, executor=args.executor, store=store
+        )
+    except (KeyError, ValueError) as exc:
+        print(_errmsg(exc), file=sys.stderr)
+        return 2
+
+    report = runner.run()
+    for spec, h in report.cells:
+        print(f"{report.label(spec)}: final {h.final_accuracy():.4f}  "
+              f"best {h.best_accuracy():.4f}")
+    print()
+    print(summarize_sweep(report, target=args.target_acc))
+    if args.save_history:
+        for spec, h in report.cells:
+            save_history(h, f"{args.save_history}.{spec.spec_hash()}.json")
+    if args.export_csv:
+        for spec, h in report.cells:
+            export_curves_csv(h, f"{args.export_csv}.{spec.spec_hash()}.csv")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """``scenario list | show NAME | run NAME``."""
+    if args.action == "list":
+        rows = []
+        for spec in REGISTRY:
+            cfg = spec.to_config()
+            extras = []
+            if cfg.compressor:
+                extras.append(cfg.compressor)
+            if cfg.contention != "none":
+                extras.append("contended")
+            rows.append(
+                f"{spec.name:<18} {cfg.mode:<9} {cfg.algorithm:<10} "
+                f"{','.join(spec.tags):<28} {' '.join(extras)}"
+            )
+        print(f"{'name':<18} {'mode':<9} {'algorithm':<10} {'tags':<28}")
+        print("-" * 70)
+        print("\n".join(rows))
+        print("\nrun one with:  python -m repro scenario run <name>")
+        return 0
+
+    if args.name is None:
+        print(f"scenario {args.action} needs a name; try 'scenario list'",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as exc:
+        print(_errmsg(exc), file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        print(spec.summary())
+        print(f"\n{spec.description}\n")
+        print(f"expected: {spec.expected}\n")
+        print("overrides (vs ExperimentConfig defaults):")
+        for k, v in spec.overrides.items():
+            print(f"  {k} = {v!r}")
+        print(f"\nspec hash: {spec.spec_hash()}")
+        return 0
+
+    spec = spec.with_overrides(**_layered_overrides(args))
+    cfg = spec.to_config()
+    with make_simulation(cfg) as sim:
+        history = sim.run()
+    print(series_text(history, every=max(1, cfg.rounds // 10)))
+    virt = history.records[-1].sim_end if history.records else 0.0
+    print(f"\nscenario {spec.name}  mode {cfg.mode}  "
+          f"final accuracy {history.final_accuracy():.4f}  "
+          f"virtual time {virt:.1f}s")
+    if args.save_history:
+        save_history(history, args.save_history)
+    if args.export_csv:
+        export_curves_csv(history, args.export_csv)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

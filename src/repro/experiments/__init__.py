@@ -9,10 +9,18 @@ from repro.experiments.reporting import (
     summarize_comparison,
     summarize_hier,
     summarize_modes,
+    summarize_sweep,
     time_to_accuracy_row,
 )
 from repro.experiments.metrics import accuracy_auc, rounds_speedup, speedup_to_target
-from repro.experiments.runner import run_comparison, run_hier, run_modes, sweep
+from repro.experiments.runner import (
+    run_comparison,
+    run_grid,
+    run_hier,
+    run_modes,
+    run_scenario,
+    sweep,
+)
 from repro.experiments import paper_reference
 
 __all__ = [
@@ -23,9 +31,12 @@ __all__ = [
     "run_comparison",
     "run_modes",
     "run_hier",
+    "run_scenario",
+    "run_grid",
     "sweep",
     "summarize_modes",
     "summarize_hier",
+    "summarize_sweep",
     "accuracy_auc",
     "speedup_to_target",
     "rounds_speedup",

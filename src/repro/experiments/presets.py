@@ -43,8 +43,21 @@ def paper_config(
 ) -> ExperimentConfig:
     """The Sec. 5.1 setting: N=10, C=0.5, bs=64, E=1, 200 rounds.
 
-    ``dataset`` accepts the paper's names ("cifar10", "svhn", "cifar100") or
-    the synthetic names directly.
+    Args:
+        dataset: The paper's dataset names ("cifar10", "svhn", "cifar100")
+            or a synthetic name ("synth-*") directly — paper names map
+            through :data:`DATASET_NAME_MAP`.
+        algorithm: A :data:`repro.fl.config.ALGORITHMS` name; its tuned
+            hyperparameters (α, γ) are filled in automatically.
+        beta: Dirichlet heterogeneity (lower = more label skew).
+        compression_ratio: Target CR*; forced to 1.0 (dense) for
+            ``fedavg``.
+        seed: Root seed for data/model/links/sampling.
+        **overrides: Any further :class:`~repro.fl.config.ExperimentConfig`
+            fields, applied last (they win over the tuned defaults).
+
+    Returns:
+        A validated :class:`~repro.fl.config.ExperimentConfig`.
     """
     ds = DATASET_NAME_MAP.get(dataset, dataset)
     kwargs: dict = dict(
@@ -69,7 +82,12 @@ def paper_config(
 
 
 def bench_scale() -> float:
-    """Benchmark budget multiplier from ``REPRO_BENCH_SCALE`` (default 1)."""
+    """Benchmark budget multiplier from ``REPRO_BENCH_SCALE``.
+
+    Returns:
+        The environment value as a float (default 1.0); rounds and sample
+        counts in :func:`bench_config` scale linearly with it.
+    """
     return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
 
 
@@ -79,6 +97,17 @@ def bench_config(dataset: str, algorithm: str, **overrides) -> ExperimentConfig:
     Keeps the federation shape (N=10, C=0.5, Dirichlet β, per-algorithm
     hyperparameters) but shortens the run; the *relative ordering* of
     algorithms — what the paper's tables establish — is preserved.
+
+    Args:
+        dataset: As in :func:`paper_config`.
+        algorithm: As in :func:`paper_config`.
+        **overrides: Passed through to :func:`paper_config` after the
+            bench-budget defaults (rounds, sample counts, ``eval_every``),
+            so explicit values win.
+
+    Returns:
+        A validated :class:`~repro.fl.config.ExperimentConfig` sized by
+        :func:`bench_scale`.
     """
     scale = bench_scale()
     defaults = dict(

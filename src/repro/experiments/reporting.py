@@ -14,6 +14,7 @@ __all__ = [
     "summarize_modes",
     "summarize_hier",
     "summarize_comm",
+    "summarize_sweep",
 ]
 
 
@@ -159,6 +160,60 @@ def summarize_comm(history: History, *, top: int = 5) -> str:
                 " effective aggregate throughput"
             )
         lines.append(line)
+    return "\n".join(lines)
+
+
+def summarize_sweep(report, *, target: float | None = None, top: int = 8) -> str:
+    """Render a :class:`~repro.scenarios.report.SweepReport` as text tables.
+
+    Three sections: the ``top`` cells ranked by final accuracy, one
+    marginal table per grid axis (mean over every other axis and seed),
+    and — when ``target`` is given — the virtual time-to-target frontier.
+    A trailing line accounts for resume (cells run vs loaded from the run
+    store).
+    """
+    lines = []
+    ranked = report.best_cells(metric="final", top=top)
+    rows = []
+    for spec, h, final in ranked:
+        end = h.records[-1].sim_end if h.records else None
+        rows.append([
+            report.label(spec),
+            str(len(h)),
+            _num(final),
+            _num(h.best_accuracy()),
+            "--" if end is None else f"{end:.1f}s",
+        ])
+    if rows:
+        lines.append(f"top cells (of {len(report)}) by final accuracy:")
+        lines.append(format_table(
+            ["cell", "rounds", "final_acc", "best_acc", "virtual_time"], rows
+        ))
+    else:
+        lines.append("(no evaluated cells)")
+
+    for axis, values in report.marginals().items():
+        rows = [
+            [f"{axis}={value}", _num(stats["mean_final"]), _num(stats["mean_best"]),
+             str(int(stats["n"]))]
+            for value, stats in values.items()
+        ]
+        if rows:
+            lines.append("")
+            lines.append(f"marginal over {axis} (mean across other axes/seeds):")
+            lines.append(format_table(["value", "mean_final", "mean_best", "cells"], rows))
+
+    if target is not None:
+        rows = [
+            [report.label(spec), "--" if t is None else f"{t:.1f}s"]
+            for spec, t in report.time_to_accuracy_frontier(target)
+        ]
+        lines.append("")
+        lines.append(f"virtual time to accuracy >= {target:g}:")
+        lines.append(format_table(["cell", "t_to_target"], rows))
+
+    lines.append("")
+    lines.append(f"{report.executed} cell(s) run, {report.reused} loaded from store")
     return "\n".join(lines)
 
 

@@ -6,6 +6,10 @@ execution backends (``repro.exec``) release their worker pools between
 runs; select a backend via the base config
 (``base.with_(backend="process", workers=4)``) and a round protocol via
 ``base.with_(mode="async")``.
+
+Multi-dimensional grids belong to :mod:`repro.scenarios` —
+:func:`run_grid` here is the convenience bridge that expands, executes
+(optionally in parallel with resume), and reports in one call.
 """
 
 from __future__ import annotations
@@ -16,7 +20,15 @@ from repro.fl.config import MODES, ExperimentConfig
 from repro.fl.history import History
 from repro.simtime import make_simulation
 
-__all__ = ["run_comparison", "sweep", "run_modes", "run_hier", "PROTOCOL_RACE_MODES"]
+__all__ = [
+    "run_comparison",
+    "sweep",
+    "run_modes",
+    "run_hier",
+    "run_scenario",
+    "run_grid",
+    "PROTOCOL_RACE_MODES",
+]
 
 #: The mode-race default: the three flat protocols. ``hier`` is excluded —
 #: at ``num_edges=1`` it duplicates sync; sweep it with :func:`run_hier`.
@@ -35,14 +47,30 @@ def run_comparison(
     attributable to the algorithm alone — the paper's comparison protocol.
     The execution backend never changes outcomes (seeded runs are
     bit-identical across backends), only wall-clock time.
+
+    Args:
+        base: The shared configuration; its ``algorithm`` field is
+            overridden per run, everything else (seed included) is held
+            fixed.
+        algorithms: Names from :data:`repro.fl.config.ALGORITHMS` to run.
+        compression_ratio: When given, applied to every algorithm except
+            ``fedavg`` (which always runs dense at ratio 1.0).
+
+    Returns:
+        Algorithm name → its run :class:`~repro.fl.history.History`, in
+        ``algorithms`` order.
     """
     out: dict[str, History] = {}
     for alg in algorithms:
-        cfg = base.with_(algorithm=alg)
-        if compression_ratio is not None and alg != "fedavg":
-            cfg = cfg.with_(compression_ratio=compression_ratio)
         if alg == "fedavg":
-            cfg = cfg.with_(compression_ratio=1.0)
+            # Dense baseline: drop any compressor override in the same
+            # replace — the frozen config validates at construction and
+            # fedavg rejects an override.
+            cfg = base.with_(algorithm=alg, compression_ratio=1.0, compressor=None)
+        else:
+            cfg = base.with_(algorithm=alg)
+            if compression_ratio is not None:
+                cfg = cfg.with_(compression_ratio=compression_ratio)
         with make_simulation(cfg) as sim:
             out[alg] = sim.run()
     return out
@@ -53,7 +81,22 @@ def sweep(
     param: str,
     values: Iterable,
 ) -> dict[object, History]:
-    """Run ``base`` once per value of one config field (e.g. γ, α, N)."""
+    """Run ``base`` once per value of one config field (e.g. γ, α, N).
+
+    The single-axis, in-process special case; for multi-axis grids, seed
+    replication, parallel execution, or resume, use :func:`run_grid`.
+
+    Args:
+        base: The shared configuration (seed held fixed across values).
+        param: An :class:`~repro.fl.config.ExperimentConfig` field name.
+        values: The values to assign, already typed for the field (CLI
+            strings are typed via
+            :func:`repro.scenarios.spec.coerce_field`).
+
+    Returns:
+        Value → its run :class:`~repro.fl.history.History`, in ``values``
+        order.
+    """
     out: dict[object, History] = {}
     for v in values:
         with make_simulation(base.with_(**{param: v})) as sim:
@@ -73,6 +116,20 @@ def run_modes(
     the virtual-clock axis prices download + compute + upload uniformly
     across modes, which is the time-to-accuracy question (Fig. 10) the
     scheduler exists to answer.
+
+    Args:
+        base: The shared configuration; its ``mode`` field is overridden
+            per run.
+        modes: Which protocols to race (default: sync, semisync, async —
+            see :data:`PROTOCOL_RACE_MODES`). Each must be in
+            :data:`repro.fl.config.MODES`.
+
+    Returns:
+        Mode name → its run :class:`~repro.fl.history.History`, in
+        ``modes`` order.
+
+    Raises:
+        ValueError: If a requested mode is unknown.
     """
     out: dict[str, History] = {}
     for mode in modes:
@@ -95,9 +152,91 @@ def run_hier(
     time-to-accuracy are attributable to the topology alone. ``1`` with the
     default free backhaul is the flat-protocol baseline (bit-identical to
     ``mode="sync"`` by the degenerate-equivalence contract).
+
+    Args:
+        base: The shared configuration; ``mode`` is forced to ``"hier"``
+            and ``num_edges`` overridden per run.
+        edge_counts: Edge-tier widths to race; each must be in
+            ``[1, base.num_clients]`` (validated by the config).
+
+    Returns:
+        Edge count → its run :class:`~repro.fl.history.History`, in
+        ``edge_counts`` order.
     """
     out: dict[int, History] = {}
     for e in edge_counts:
         with make_simulation(base.with_(mode="hier", num_edges=int(e))) as sim:
             out[int(e)] = sim.run()
     return out
+
+
+def run_scenario(name_or_spec, **overrides) -> History:
+    """Run one registered (or ad-hoc) scenario end to end.
+
+    Args:
+        name_or_spec: A name in the default scenario registry
+            (:func:`repro.scenarios.available_scenarios`) or a
+            :class:`~repro.scenarios.ScenarioSpec` instance.
+        **overrides: Config fields layered over the scenario (e.g.
+            ``rounds=2`` for a smoke run, ``seed=7`` for a replicate);
+            values are typed through the config's field types.
+
+    Returns:
+        The run's :class:`~repro.fl.history.History`.
+
+    Raises:
+        KeyError: If ``name_or_spec`` names no registered scenario.
+    """
+    from repro.scenarios import ScenarioSpec, get_scenario
+
+    spec = (
+        name_or_spec
+        if isinstance(name_or_spec, ScenarioSpec)
+        else get_scenario(str(name_or_spec))
+    )
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    with make_simulation(spec.to_config()) as sim:
+        return sim.run()
+
+
+def run_grid(
+    base,
+    axes: dict,
+    *,
+    seeds=None,
+    parallel: int = 1,
+    executor: str | None = None,
+    store=None,
+):
+    """Expand a grid over ``base`` and run it (parallel, resumable).
+
+    The one-call bridge into :mod:`repro.scenarios`: equivalent to
+    ``SweepRunner(expand_grid(base, axes, seeds=seeds), ...).run()``.
+
+    Args:
+        base: An :class:`~repro.fl.config.ExperimentConfig` or
+            :class:`~repro.scenarios.ScenarioSpec` supplying every field
+            the axes don't vary.
+        axes: Config field → list of values (cartesian product; values
+            typed through the field types).
+        seeds: Seed replication — an int ``k`` (base seed .. base seed
+            + k − 1), an explicit sequence, or None for the base seed only.
+        parallel: Max cells in flight (1 = sequential).
+        executor: ``"serial"`` | ``"thread"`` | ``"process"`` cell pool
+            (default: process when ``parallel > 1``).
+        store: Optional :class:`~repro.scenarios.RunStore` (or directory
+            path) enabling resume: completed cells load instead of re-run.
+
+    Returns:
+        A :class:`~repro.scenarios.SweepReport` with the cells in
+        expansion order.
+    """
+    from repro.scenarios import RunStore, SweepRunner, expand_grid
+
+    if isinstance(store, str):
+        store = RunStore(store)
+    cells = expand_grid(base, axes, seeds=seeds)
+    return SweepRunner(
+        cells, parallel=parallel, executor=executor, store=store
+    ).run()

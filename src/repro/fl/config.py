@@ -74,6 +74,9 @@ class ExperimentConfig:
 
     # Algorithm under test
     algorithm: str = "fedavg"
+    compressor: str | None = None  # registry name overriding the algorithm's
+    #   default client compressor (e.g. "qsgd8" for 8-bit quantized uplinks);
+    #   None = the algorithm's own choice. Requires a compressing algorithm.
     compression_ratio: float = 1.0  # CR* (retained fraction; 1.0 = dense)
     alpha: float = 0.3  # server learning rate in Eq. 6
     gamma: float = 5.0  # OPWA enlarge rate γ
@@ -139,6 +142,19 @@ class ExperimentConfig:
             raise ValueError(f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}")
         check_fraction("participation", self.participation)
         check_fraction("compression_ratio", self.compression_ratio)
+        if self.compressor is not None:
+            from repro.compression.registry import available_compressors
+
+            names = available_compressors()
+            if self.compressor not in names:
+                raise ValueError(
+                    f"compressor must be one of {names}, got {self.compressor!r}"
+                )
+            if self.algorithm == "fedavg":
+                raise ValueError(
+                    "compressor override requires a compressing algorithm "
+                    "(fedavg uploads dense by definition); pick e.g. 'topk'"
+                )
         check_positive("beta", self.beta)
         check_positive("lr", self.lr)
         check_positive("alpha", self.alpha)

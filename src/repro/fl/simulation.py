@@ -124,7 +124,14 @@ class Simulation(EngineMixin):
             config.num_clients, config.clients_per_round, seed=rngs.stream("sampler")
         )
         self.algorithm: Algorithm = make_algorithm(config)
-        comp_name = self.algorithm.compressor_name
+        # config.compressor swaps the client compressor implementation under
+        # a compressing algorithm (e.g. "qsgd8" quantized uplinks beneath
+        # topk's uniform-ratio plan); None keeps the algorithm's default.
+        comp_name = (
+            config.compressor
+            if config.compressor is not None
+            else self.algorithm.compressor_name
+        )
         self.compressors = (
             [make_compressor(comp_name, seed=rngs.child("compressor", cid)) for cid in range(config.num_clients)]
             if comp_name

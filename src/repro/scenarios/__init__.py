@@ -1,0 +1,66 @@
+"""Declarative scenarios and parallel sweep orchestration.
+
+The simulator's feature axes — execution backends (:mod:`repro.exec`),
+round protocols (:mod:`repro.simtime`), hierarchy (:mod:`repro.hier`),
+transport contention (:mod:`repro.network.transport`), compressors — are
+orthogonal by construction. This package is the layer that *composes*
+them:
+
+- :mod:`~repro.scenarios.spec` — :class:`ScenarioSpec`, a serializable,
+  hashable description of one complete experiment, bridging to/from
+  :class:`~repro.fl.config.ExperimentConfig`;
+- :mod:`~repro.scenarios.registry` — named built-ins exercising
+  cross-feature combinations (the source of ``docs/SCENARIOS.md``);
+- :mod:`~repro.scenarios.grid` — typed multi-axis grid expansion with
+  seed replication;
+- :mod:`~repro.scenarios.sweep` — :class:`SweepRunner`: cells fan out
+  over serial/thread/process pools with a resumable on-disk
+  :class:`~repro.scenarios.store.RunStore`;
+- :mod:`~repro.scenarios.report` — :class:`SweepReport`: best-cell
+  rankings, per-axis marginals, time-to-accuracy frontiers.
+
+CLI: ``python -m repro scenario {list,show,run}`` and
+``python -m repro sweep --grid field=a,b,c --parallel N``.
+"""
+
+from repro.scenarios.grid import cell_label, expand_grid, parse_axis
+from repro.scenarios.registry import (
+    REGISTRY,
+    ScenarioRegistry,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenarios_by_tag,
+)
+from repro.scenarios.report import SweepReport
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    coerce_field,
+    config_field_names,
+    config_overrides,
+    config_to_dict,
+)
+from repro.scenarios.store import RunStore
+from repro.scenarios.sweep import SWEEP_EXECUTORS, SweepRunner, run_cell
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioRegistry",
+    "REGISTRY",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "scenarios_by_tag",
+    "coerce_field",
+    "config_field_names",
+    "config_overrides",
+    "config_to_dict",
+    "parse_axis",
+    "expand_grid",
+    "cell_label",
+    "RunStore",
+    "SweepRunner",
+    "SweepReport",
+    "SWEEP_EXECUTORS",
+    "run_cell",
+]

@@ -1,0 +1,106 @@
+"""Multi-dimensional sweep grids over scenario specs.
+
+:func:`expand_grid` takes a base (a :class:`ScenarioSpec` or a raw
+``ExperimentConfig``) and a dict of axes — config field → list of values —
+and returns the cartesian product as concrete specs, optionally replicated
+over seeds. Axis values are typed through the config dataclass's declared
+field types (:func:`~repro.scenarios.spec.coerce_field`), so CLI strings
+like ``"false"`` or ``"none"`` land as ``False``/``None``, not truthy
+strings. Expansion order is deterministic: axes vary right-to-left (the
+last axis fastest), seeds innermost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import replace
+
+from repro.fl.config import ExperimentConfig
+from repro.scenarios.spec import ScenarioSpec, coerce_field
+
+__all__ = ["parse_axis", "expand_grid", "cell_label"]
+
+
+def parse_axis(text: str) -> tuple[str, list]:
+    """Parse one ``field=v1,v2,...`` CLI axis into (field, typed values).
+
+    Values are typed through the config field's declared type — the fix for
+    sweeping boolean/None-able fields, which the old parser stringified
+    (``bool("false") is True``). Raises ``ValueError`` on a malformed axis,
+    an unknown field, an untypeable value, or an empty value list.
+    """
+    field_name, sep, raw = text.partition("=")
+    field_name = field_name.strip()
+    if not sep or not field_name:
+        raise ValueError(f"axis must look like field=v1,v2,..., got {text!r}")
+    values = [coerce_field(field_name, v.strip()) for v in raw.split(",") if v.strip() != ""]
+    if not values:
+        raise ValueError(f"axis {field_name!r} has no values in {text!r}")
+    return field_name, values
+
+
+def cell_label(axes: dict) -> str:
+    """Canonical ``f1=v1,f2=v2`` label of one grid cell's coordinates."""
+    return ",".join(f"{k}={v}" for k, v in axes.items())
+
+
+def expand_grid(
+    base: ScenarioSpec | ExperimentConfig,
+    axes: dict[str, Sequence],
+    *,
+    seeds: int | Sequence[int] | None = None,
+) -> list[ScenarioSpec]:
+    """The cartesian product of ``axes`` over ``base``, one spec per cell.
+
+    ``base`` supplies everything the axes don't vary (an
+    ``ExperimentConfig`` is bridged to an anonymous spec first). ``seeds``
+    replicates every cell: an int ``k`` means seeds ``s0..s0+k-1`` starting
+    at the base config's own seed, a sequence is used verbatim, and
+    ``None`` keeps the base seed (no replication axis). Each returned
+    spec's ``axes`` dict records its coordinates — including ``seed`` when
+    replicated — which is what sweep reports compute marginals over.
+    Sweeping ``seed`` both ways (an explicit axis *and* ``seeds=``) is
+    refused rather than silently overridden.
+    """
+    if isinstance(base, ExperimentConfig):
+        base = ScenarioSpec.from_config(base, name="grid")
+    names = list(axes)
+    typed: list[list] = []
+    for name in names:
+        values = [coerce_field(name, v) for v in axes[name]]
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+        typed.append(values)
+
+    if seeds is None:
+        seed_values: list[int] | None = None
+    elif isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError(f"seeds must be >= 1, got {seeds}")
+        seed0 = int(base.overrides.get("seed", ExperimentConfig().seed))
+        seed_values = [seed0 + i for i in range(seeds)]
+    else:
+        seed_values = [int(s) for s in seeds]
+        if not seed_values:
+            raise ValueError("seeds sequence is empty")
+    if seed_values is not None and "seed" in names:
+        raise ValueError("'seed' is already a grid axis; drop the seeds= replication")
+
+    cells: list[ScenarioSpec] = []
+    for combo in itertools.product(*typed) if names else [()]:
+        coords = dict(zip(names, combo))
+        for seed in seed_values if seed_values is not None else [None]:
+            cell_axes = dict(coords)
+            overrides = dict(coords)
+            if seed is not None:
+                cell_axes["seed"] = seed
+                overrides["seed"] = seed
+            cells.append(
+                replace(
+                    base.with_overrides(**overrides),
+                    name=f"{base.name}[{cell_label(cell_axes)}]" if cell_axes else base.name,
+                    axes=cell_axes,
+                )
+            )
+    return cells

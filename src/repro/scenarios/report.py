@@ -1,0 +1,176 @@
+"""Cross-run aggregation over a sweep's (spec, history) cells.
+
+A :class:`SweepReport` answers the questions a grid was run to ask:
+which cells won (:meth:`best_cells`), what each axis did on its own
+(:meth:`marginals` — mean over every other axis and seed), and where the
+time-to-accuracy frontier lies (:meth:`time_to_accuracy_frontier` for a
+fixed target, :meth:`pareto_frontier` for the full accuracy-vs-virtual-time
+trade-off). Rendering lives in
+:func:`repro.experiments.reporting.summarize_sweep` and
+:func:`repro.viz.ascii.ascii_sweep_grid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fl.history import History
+from repro.scenarios.grid import cell_label
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["SweepReport"]
+
+
+def _final(h: History) -> float | None:
+    try:
+        return h.final_accuracy()
+    except ValueError:
+        return None
+
+
+def _best(h: History) -> float | None:
+    try:
+        return h.best_accuracy()
+    except ValueError:
+        return None
+
+
+def _virtual_end(h: History) -> float | None:
+    if not h.records:
+        return None
+    return h.records[-1].sim_end
+
+
+@dataclass
+class SweepReport:
+    """The outcome of one sweep: ordered cells plus resume accounting.
+
+    ``executed``/``reused`` count cells run fresh vs loaded from the run
+    store (``executed + reused == len(cells)``).
+    """
+
+    cells: list[tuple[ScenarioSpec, History]] = field(default_factory=list)
+    executed: int = 0
+    reused: int = 0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @staticmethod
+    def label(spec: ScenarioSpec) -> str:
+        """Row label: the cell's grid coordinates, else its name."""
+        return cell_label(spec.axes) if spec.axes else spec.name
+
+    def axis_names(self) -> list[str]:
+        """Every axis appearing in any cell, in first-seen order."""
+        seen: dict[str, None] = {}
+        for spec, _ in self.cells:
+            for name in spec.axes:
+                seen.setdefault(name)
+        return list(seen)
+
+    # ------------------------------------------------------------- rankings
+
+    def best_cells(
+        self, *, metric: str = "final", top: int | None = None
+    ) -> list[tuple[ScenarioSpec, History, float]]:
+        """Cells ranked by ``metric`` (``"final"`` or ``"best"`` accuracy).
+
+        Cells without evaluations are omitted. Ties keep sweep order, so
+        rankings are deterministic.
+        """
+        if metric not in ("final", "best"):
+            raise ValueError(f"metric must be 'final' or 'best', got {metric!r}")
+        score = _final if metric == "final" else _best
+        scored = [
+            (spec, h, s)
+            for spec, h in self.cells
+            if (s := score(h)) is not None
+        ]
+        scored.sort(key=lambda row: -row[2])
+        return scored if top is None else scored[:top]
+
+    def marginals(self) -> dict[str, dict[object, dict[str, float]]]:
+        """Per-axis value → {mean_final, mean_best, n}, marginalized.
+
+        Each axis value averages over every cell carrying it — i.e. over
+        all other axes and seed replicates — the standard reading of a
+        factorial sweep. Values keep their first-seen order.
+        """
+        out: dict[str, dict[object, dict[str, float]]] = {}
+        for axis in self.axis_names():
+            buckets: dict[object, list[tuple[float, float]]] = {}
+            for spec, h in self.cells:
+                if axis not in spec.axes:
+                    continue
+                f, b = _final(h), _best(h)
+                if f is None or b is None:
+                    continue
+                buckets.setdefault(spec.axes[axis], []).append((f, b))
+            out[axis] = {
+                value: {
+                    "mean_final": sum(f for f, _ in pairs) / len(pairs),
+                    "mean_best": sum(b for _, b in pairs) / len(pairs),
+                    "n": float(len(pairs)),
+                }
+                for value, pairs in buckets.items()
+                if pairs
+            }
+        return out
+
+    # ------------------------------------------------------------ frontiers
+
+    def time_to_accuracy_frontier(
+        self, target: float
+    ) -> list[tuple[ScenarioSpec, float | None]]:
+        """Cells ordered by virtual time to first reach ``target`` accuracy.
+
+        Cells that never reach it sort last (time ``None``), so the head of
+        the list *is* the frontier: the fastest routes to the target.
+        """
+        rows = [(spec, h.simtime_to_accuracy(target)) for spec, h in self.cells]
+        order = sorted(
+            range(len(rows)),
+            key=lambda i: (rows[i][1] is None, rows[i][1] if rows[i][1] is not None else 0.0),
+        )
+        return [rows[i] for i in order]
+
+    def pareto_frontier(self) -> list[tuple[ScenarioSpec, History, float, float]]:
+        """Non-dominated cells on (total virtual time ↓, best accuracy ↑).
+
+        A cell is on the frontier iff no other cell is at least as accurate
+        in strictly less virtual time (and strictly better in one of the
+        two). Returned sorted by virtual time.
+        """
+        rows = [
+            (spec, h, t, acc)
+            for spec, h in self.cells
+            if (t := _virtual_end(h)) is not None and (acc := _best(h)) is not None
+        ]
+        rows.sort(key=lambda r: (r[2], -r[3]))
+        frontier: list[tuple[ScenarioSpec, History, float, float]] = []
+        best_acc = float("-inf")
+        for row in rows:
+            if row[3] > best_acc:
+                frontier.append(row)
+                best_acc = row[3]
+        return frontier
+
+    # ------------------------------------------------------------ exporting
+
+    def to_dict(self) -> dict:
+        """JSON-able summary (specs + headline metrics, not full curves)."""
+        return {
+            "executed": self.executed,
+            "reused": self.reused,
+            "cells": [
+                {
+                    "spec": spec.to_dict(),
+                    "final_accuracy": _final(h),
+                    "best_accuracy": _best(h),
+                    "virtual_time": _virtual_end(h),
+                    "rounds": len(h),
+                }
+                for spec, h in self.cells
+            ],
+        }

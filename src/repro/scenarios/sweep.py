@@ -1,0 +1,176 @@
+"""Concurrent, resumable execution of expanded scenario grids.
+
+:class:`SweepRunner` takes a list of :class:`ScenarioSpec` cells (usually
+from :func:`~repro.scenarios.grid.expand_grid`), runs each cell's full
+experiment, and returns a :class:`~repro.scenarios.report.SweepReport`.
+
+Concurrency is *across cells*: whole experiments fan out over a pool named
+after the exec-backend vocabulary — ``"serial"`` (in-order, the reference),
+``"thread"`` (GIL-bound; fine for small grids and for exercising the
+machinery), ``"process"`` (forked workers — true parallelism; cells should
+then use ``backend="serial"`` internally so pools don't nest). Per-cell
+results are a pure function of the cell's config seed, so the report is
+bit-identical at any ``parallel`` on any executor (wall-clock
+``train_seconds``/``compress_seconds`` excepted, as everywhere).
+
+With a :class:`~repro.scenarios.store.RunStore`, finished cells persist as
+they complete and an interrupted sweep resumes by re-running only the
+missing ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import warnings
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+
+from repro.fl.history import History
+from repro.fl.simulation import run_experiment
+from repro.io.history_io import history_from_dict, history_to_dict
+from repro.scenarios.report import SweepReport
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.store import RunStore
+
+__all__ = ["SweepRunner", "SWEEP_EXECUTORS", "run_cell"]
+
+#: How cells fan out; mirrors the exec-backend vocabulary.
+SWEEP_EXECUTORS = ("serial", "thread", "process")
+
+
+def run_cell(spec_dict: dict) -> dict:
+    """Run one cell (spec as dict in, history as dict out).
+
+    Module-level and dict-typed so it crosses a process pool by reference +
+    pickle; also the serial path, so every executor shares one code path.
+    """
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return history_to_dict(run_experiment(spec.to_config()))
+
+
+class SweepRunner:
+    """Execute scenario cells concurrently with optional resume.
+
+    Parameters
+    ----------
+    specs:
+        The cells to run. Order is preserved in the report regardless of
+        completion order.
+    parallel:
+        Max cells in flight at once (1 = sequential).
+    executor:
+        ``"serial"`` | ``"thread"`` | ``"process"``; default picks
+        ``"process"`` when ``parallel > 1`` (falling back to ``"thread"``
+        where fork is unavailable) and ``"serial"`` otherwise.
+    store:
+        Optional :class:`RunStore` (or path) for resume: completed cells
+        are loaded instead of re-run, fresh cells are persisted as they
+        finish — an interrupt loses only in-flight cells.
+    progress:
+        Optional callback ``(spec, cached: bool)`` invoked as each cell
+        resolves (from worker threads' completion loop order, not cell
+        order).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ScenarioSpec],
+        *,
+        parallel: int = 1,
+        executor: str | None = None,
+        store: RunStore | str | None = None,
+        progress: Callable[[ScenarioSpec, bool], None] | None = None,
+    ):
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        if executor is None:
+            executor = "process" if parallel > 1 else "serial"
+            if executor == "process" and "fork" not in mp.get_all_start_methods():
+                executor = "thread"  # pragma: no cover (non-POSIX)
+        if executor not in SWEEP_EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {SWEEP_EXECUTORS}, got {executor!r}"
+            )
+        self.specs = list(specs)
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate cell names in sweep: {dupes}")
+        self.parallel = int(parallel)
+        self.executor = executor
+        if store is not None and not isinstance(store, RunStore):
+            store = RunStore(store)  # accept a plain directory path
+        self.store = store
+        self.progress = progress
+        if self.executor == "process" and self.parallel > 1:
+            busy = sorted({s.to_config().backend for s in self.specs} - {"serial"})
+            if busy:
+                warnings.warn(
+                    f"sweep cells use backend={busy} inside a process-pool "
+                    "sweep; nested worker pools oversubscribe the CPU — "
+                    "prefer backend='serial' cells with sweep-level "
+                    "parallelism",
+                    stacklevel=2,
+                )
+
+    # ------------------------------------------------------------------ run
+
+    def _make_pool(self) -> Executor:
+        if self.executor == "thread":
+            return ThreadPoolExecutor(max_workers=self.parallel)
+        return ProcessPoolExecutor(
+            max_workers=self.parallel, mp_context=mp.get_context("fork")
+        )
+
+    def run(self) -> SweepReport:
+        """Run every cell (skipping completed store entries); build the report.
+
+        Histories pass through the dict round-trip on every path (worker
+        pickle, store JSON, serial), so a cell's record values have one
+        provenance no matter how it executed.
+        """
+        cached: dict[int, History] = {}
+        pending: list[int] = []
+        for i, spec in enumerate(self.specs):
+            hist = self.store.load(spec) if self.store is not None else None
+            if hist is not None:
+                cached[i] = hist
+                if self.progress is not None:
+                    self.progress(spec, True)
+            else:
+                pending.append(i)
+
+        results: dict[int, History] = dict(cached)
+
+        def resolve(i: int, history_dict: dict) -> None:
+            history = history_from_dict(history_dict)
+            results[i] = history
+            if self.store is not None:
+                self.store.save(self.specs[i], history)
+            if self.progress is not None:
+                self.progress(self.specs[i], False)
+
+        if not pending:
+            pass
+        elif self.parallel == 1 or self.executor == "serial" or len(pending) == 1:
+            for i in pending:
+                resolve(i, run_cell(self.specs[i].to_dict()))
+        else:
+            with self._make_pool() as pool:
+                # Bounded submission window: keep at most ``parallel``
+                # futures alive so a 10k-cell grid doesn't pickle everything
+                # up front, and persist each cell the moment it lands.
+                todo = list(pending)
+                futures = {}
+                while todo or futures:
+                    while todo and len(futures) < self.parallel:
+                        i = todo.pop(0)
+                        futures[pool.submit(run_cell, self.specs[i].to_dict())] = i
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        resolve(futures.pop(fut), fut.result())
+
+        ordered = [(self.specs[i], results[i]) for i in range(len(self.specs))]
+        return SweepReport(
+            cells=ordered, executed=len(pending), reused=len(cached)
+        )

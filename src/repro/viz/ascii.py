@@ -8,7 +8,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ascii_plot", "ascii_bars", "ascii_timeline", "ascii_tier_tree", "ascii_comm_table"]
+__all__ = [
+    "ascii_plot",
+    "ascii_bars",
+    "ascii_timeline",
+    "ascii_tier_tree",
+    "ascii_comm_table",
+    "ascii_sweep_grid",
+]
 
 _MARKERS = "abcdefghijklmnopqrstuvwxyz"
 
@@ -234,6 +241,64 @@ def ascii_comm_table(history, *, top: int = 5) -> str:
             "top uplink clients: "
             + "  ".join(f"c{cid} {_fmt_bytes(v)}" for cid, v in talkers)
         )
+    return "\n".join(lines)
+
+
+def ascii_sweep_grid(
+    report,
+    x_axis: str,
+    y_axis: str,
+    *,
+    metric: str = "final",
+) -> str:
+    """Render a 2-axis sweep as a value grid: rows = ``y_axis``, columns =
+    ``x_axis``, each cell the mean accuracy over every other axis and seed.
+
+    ``report`` is a :class:`~repro.scenarios.report.SweepReport` (duck
+    typed: ``cells`` of ``(spec, history)``). ``metric`` is ``"final"`` or
+    ``"best"``. Cells with no data render ``--``; a shaded mini-bar next to
+    each value makes the gradient visible without color.
+    """
+    if metric not in ("final", "best"):
+        raise ValueError(f"metric must be 'final' or 'best', got {metric!r}")
+    acc: dict[tuple, list[float]] = {}
+    xs: dict[object, None] = {}
+    ys: dict[object, None] = {}
+    for spec, history in report.cells:
+        if x_axis not in spec.axes or y_axis not in spec.axes:
+            continue
+        try:
+            value = history.final_accuracy() if metric == "final" else history.best_accuracy()
+        except ValueError:
+            continue
+        x, y = spec.axes[x_axis], spec.axes[y_axis]
+        xs.setdefault(x)
+        ys.setdefault(y)
+        acc.setdefault((x, y), []).append(value)
+    if not acc:
+        raise ValueError(f"no cells carry both axes {x_axis!r} and {y_axis!r}")
+
+    means = {k: sum(v) / len(v) for k, v in acc.items()}
+    lo, hi = min(means.values()), max(means.values())
+    span = (hi - lo) or 1.0
+    shades = " ░▒▓█"
+
+    def cell(x, y) -> str:
+        m = means.get((x, y))
+        if m is None:
+            return "--"
+        shade = shades[int(round((m - lo) / span * (len(shades) - 1)))]
+        return f"{m:.4f} {shade}"
+
+    headers = [f"{y_axis} \\ {x_axis}"] + [str(x) for x in xs]
+    rows = [[str(y)] + [cell(x, y) for x in xs] for y in ys]
+    widths = [max(len(h), max(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers), "  ".join("-" * w for w in widths)] + [fmt(r) for r in rows]
+    lines.append(f"mean {metric} accuracy; shade spans [{lo:.4f}, {hi:.4f}]")
     return "\n".join(lines)
 
 

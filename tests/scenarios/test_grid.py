@@ -1,0 +1,80 @@
+"""Grid expansion: typed axes, deterministic order, seed replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fl.config import ExperimentConfig
+from repro.scenarios import ScenarioSpec, cell_label, expand_grid, parse_axis
+
+
+class TestParseAxis:
+    def test_typed_values(self):
+        name, values = parse_axis("gamma=3,5,7")
+        assert name == "gamma" and values == [3.0, 5.0, 7.0]
+
+    def test_bool_axis_is_really_boolean(self):
+        # The cli-sweep bug this parser fixes: bool("false") is True.
+        _, values = parse_axis("include_downlink=false,true")
+        assert values == [False, True]
+
+    def test_noneable_axis(self):
+        _, values = parse_axis("deadline_s=none,2.5")
+        assert values == [None, 2.5]
+
+    def test_malformed(self):
+        with pytest.raises(ValueError, match="field=v1,v2"):
+            parse_axis("gamma")
+        with pytest.raises(ValueError, match="no values"):
+            parse_axis("gamma=")
+        with pytest.raises(ValueError, match="unknown config field"):
+            parse_axis("gamme=3")
+
+
+class TestExpandGrid:
+    def test_cartesian_product_and_order(self):
+        cells = expand_grid(
+            ExperimentConfig(), {"gamma": [3, 5], "alpha": [0.1, 0.3]}
+        )
+        assert len(cells) == 4
+        # Last axis varies fastest, deterministically.
+        assert [c.axes for c in cells] == [
+            {"gamma": 3.0, "alpha": 0.1},
+            {"gamma": 3.0, "alpha": 0.3},
+            {"gamma": 5.0, "alpha": 0.1},
+            {"gamma": 5.0, "alpha": 0.3},
+        ]
+        assert cells[0].name == "grid[gamma=3.0,alpha=0.1]"
+        assert cells[0].to_config().gamma == 3.0
+
+    def test_seed_replication_from_base_seed(self):
+        base = ScenarioSpec(name="b", overrides={"seed": 10})
+        cells = expand_grid(base, {"gamma": [3]}, seeds=3)
+        assert [c.to_config().seed for c in cells] == [10, 11, 12]
+        assert all("seed" in c.axes for c in cells)
+
+    def test_explicit_seed_sequence(self):
+        cells = expand_grid(ExperimentConfig(), {}, seeds=[4, 9])
+        assert [c.to_config().seed for c in cells] == [4, 9]
+
+    def test_seed_axis_conflicts_with_seeds(self):
+        with pytest.raises(ValueError, match="already a grid axis"):
+            expand_grid(ExperimentConfig(), {"seed": [0, 1]}, seeds=2)
+
+    def test_base_overrides_survive(self):
+        base = ScenarioSpec(name="b", overrides={"algorithm": "topk", "rounds": 9})
+        cells = expand_grid(base, {"compression_ratio": [0.1, 0.2]})
+        for c in cells:
+            cfg = c.to_config()
+            assert cfg.algorithm == "topk" and cfg.rounds == 9
+
+    def test_string_values_typed(self):
+        cells = expand_grid(ExperimentConfig(), {"include_downlink": ["false", "true"]})
+        assert [c.to_config().include_downlink for c in cells] == [False, True]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            expand_grid(ExperimentConfig(), {"gamma": []})
+
+    def test_cell_label(self):
+        assert cell_label({"gamma": 3.0, "seed": 1}) == "gamma=3.0,seed=1"

@@ -1,0 +1,110 @@
+"""ScenarioSpec: typed coercion, dict round-trips, config bridging, hashing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fl.config import ExperimentConfig
+from repro.scenarios import ScenarioSpec, coerce_field, config_overrides, config_to_dict
+
+
+class TestCoerceField:
+    def test_bool_words(self):
+        assert coerce_field("include_downlink", "false") is False
+        assert coerce_field("include_downlink", "true") is True
+        assert coerce_field("time_varying_links", "0") is False
+        assert coerce_field("time_varying_links", "ON") is True
+        assert coerce_field("include_downlink", False) is False
+
+    def test_bool_rejects_garbage(self):
+        with pytest.raises(ValueError, match="boolean"):
+            coerce_field("include_downlink", "maybe")
+
+    def test_optional_none_words(self):
+        assert coerce_field("deadline_s", "none") is None
+        assert coerce_field("workers", None) is None
+        assert coerce_field("buffer_size", "null") is None
+
+    def test_non_optional_rejects_none(self):
+        with pytest.raises(ValueError, match="does not accept None"):
+            coerce_field("rounds", None)
+        with pytest.raises(ValueError, match="expects an int"):
+            coerce_field("rounds", "none")  # not a None-word here: bad int
+
+    def test_none_word_is_a_value_for_plain_str_fields(self):
+        # "none" is a real value of contention (CONTENTION_MODES), not null.
+        assert coerce_field("contention", "none") == "none"
+        assert coerce_field("contention", "fair") == "fair"
+
+    def test_numeric(self):
+        assert coerce_field("rounds", "12") == 12
+        assert isinstance(coerce_field("rounds", "12"), int)
+        assert coerce_field("gamma", "3") == 3.0
+        assert isinstance(coerce_field("gamma", "3"), float)
+        assert coerce_field("deadline_s", "2.5") == 2.5
+
+    def test_int_rejects_fractional(self):
+        with pytest.raises(ValueError, match="int"):
+            coerce_field("rounds", "2.5")
+
+    def test_unknown_field_names_candidates(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            coerce_field("gammma", "3")
+
+
+class TestSpecRoundTrip:
+    def test_dict_round_trip_through_json(self):
+        spec = ScenarioSpec(
+            name="t",
+            description="d",
+            expected="e",
+            tags=("a", "b"),
+            overrides={"gamma": 3.0, "include_downlink": True, "deadline_s": None},
+            axes={"gamma": 3.0},
+        )
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_overrides_typed_at_construction(self):
+        spec = ScenarioSpec(name="t", overrides={"rounds": "5", "include_downlink": "false"})
+        assert spec.overrides == {"rounds": 5, "include_downlink": False}
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="t", overrides={"nope": 1})
+
+    def test_config_bridge(self):
+        cfg = ExperimentConfig(rounds=7, algorithm="topk", compression_ratio=0.2)
+        spec = ScenarioSpec.from_config(cfg, name="bridge")
+        assert spec.overrides == {
+            "rounds": 7, "algorithm": "topk", "compression_ratio": 0.2
+        }
+        assert spec.to_config() == cfg
+
+    def test_config_overrides_empty_on_defaults(self):
+        assert config_overrides(ExperimentConfig()) == {}
+
+    def test_config_to_dict_covers_every_field(self):
+        d = config_to_dict(ExperimentConfig())
+        assert d["mode"] == "sync" and d["num_edges"] == 1 and "compressor" in d
+
+
+class TestSpecHash:
+    def test_same_resolved_config_same_hash(self):
+        # Different names/prose, same experiment → one run-store cell.
+        a = ScenarioSpec(name="a", description="x", overrides={"rounds": 5})
+        b = ScenarioSpec(name="b", overrides={"rounds": 5, "mode": "sync"})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_any_field_change_changes_hash(self):
+        a = ScenarioSpec(name="a", overrides={"rounds": 5})
+        assert a.spec_hash() != a.with_overrides(seed=1).spec_hash()
+        assert a.spec_hash() != a.with_overrides(rounds=6).spec_hash()
+
+    def test_with_overrides_layers(self):
+        a = ScenarioSpec(name="a", overrides={"rounds": 5, "gamma": 3.0})
+        b = a.with_overrides(rounds=9)
+        assert b.overrides == {"rounds": 9, "gamma": 3.0}
+        assert a.overrides["rounds"] == 5  # original untouched

@@ -1,0 +1,194 @@
+"""Sweep contracts: parallel determinism, resume-after-interrupt, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.reporting import summarize_sweep
+from repro.experiments.runner import run_grid, run_scenario
+from repro.fl.config import ExperimentConfig
+from repro.io.history_io import history_to_dict
+from repro.scenarios import (
+    RunStore,
+    ScenarioSpec,
+    SweepRunner,
+    expand_grid,
+)
+from repro.viz.ascii import ascii_sweep_grid
+
+
+def tiny_base(**overrides) -> ExperimentConfig:
+    base = dict(
+        dataset="synth-cifar10", num_train=200, num_test=100, num_clients=4,
+        participation=0.5, rounds=2, batch_size=32, algorithm="topk",
+        compression_ratio=0.2, eval_every=1, seed=3,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def tiny_cells():
+    return expand_grid(tiny_base(), {"gamma": [3.0, 5.0], "include_downlink": [False, True]})
+
+
+def stripped(history) -> dict:
+    """History dict minus the wall-clock fields (backend-dependent)."""
+    d = history_to_dict(history)
+    for rec in d["records"]:
+        rec["train_seconds"] = rec["compress_seconds"] = 0.0
+    return d
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_4_matches_parallel_1_bitwise(self, executor):
+        """The determinism contract: same grid, any parallelism, same cells."""
+        serial = SweepRunner(tiny_cells(), parallel=1).run()
+        parallel = SweepRunner(tiny_cells(), parallel=4, executor=executor).run()
+        assert len(serial) == len(parallel) == 4
+        for (sa, ha), (sb, hb) in zip(serial.cells, parallel.cells):
+            assert sa == sb  # cell order preserved
+            assert stripped(ha) == stripped(hb)
+
+    def test_duplicate_cells_refused(self):
+        cells = tiny_cells()
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepRunner(cells + cells[:1])
+
+    def test_nested_pool_warning(self):
+        cells = expand_grid(tiny_base(backend="thread"), {"gamma": [3.0, 5.0]})
+        with pytest.warns(UserWarning, match="nested"):
+            SweepRunner(cells, parallel=2, executor="process")
+
+
+class TestResume:
+    def test_interrupted_sweep_reruns_only_missing_cells(self, tmp_path):
+        cells = tiny_cells()
+        store = RunStore(tmp_path / "runs")
+
+        # "Interrupt": only half the grid completed before the kill.
+        first = SweepRunner(cells[:2], parallel=1, store=store).run()
+        assert first.executed == 2 and first.reused == 0
+
+        seen: list[tuple[str, bool]] = []
+        full = SweepRunner(
+            cells, parallel=2, store=store,
+            progress=lambda spec, cached: seen.append((spec.name, cached)),
+        ).run()
+        assert full.executed == 2 and full.reused == 2
+        cached_names = {name for name, cached in seen if cached}
+        assert cached_names == {c.name for c in cells[:2]}
+
+        # A third pass is a pure cache read, bit-identical to the second.
+        again = SweepRunner(cells, parallel=1, store=store).run()
+        assert again.executed == 0 and again.reused == 4
+        for (_, ha), (_, hb) in zip(full.cells, again.cells):
+            assert stripped(ha) == stripped(hb)
+
+    def test_cached_cells_equal_fresh_cells_bitwise(self, tmp_path):
+        cells = tiny_cells()[:2]
+        fresh = SweepRunner(cells, parallel=1).run()
+        store = RunStore(tmp_path / "runs")
+        SweepRunner(cells, parallel=1, store=store).run()
+        resumed = SweepRunner(cells, parallel=1, store=store).run()
+        # JSON round-trips Python floats exactly, so even wall-clock fields
+        # survive the store; fresh-vs-stored differs only in wall clock.
+        for (_, hf), (_, hr) in zip(fresh.cells, resumed.cells):
+            assert stripped(hf) == stripped(hr)
+
+    def test_torn_store_file_is_rerun_not_crashed(self, tmp_path):
+        cells = tiny_cells()[:1]
+        store = RunStore(tmp_path / "runs")
+        SweepRunner(cells, parallel=1, store=store).run()
+        path = store.path_for(cells[0])
+        path.write_text(path.read_text()[: 40])  # simulate a kill mid-write
+        assert not store.completed(cells[0])
+        report = SweepRunner(cells, parallel=1, store=store).run()
+        assert report.executed == 1
+        assert store.completed(cells[0])  # healed
+
+    def test_foreign_json_in_store_dir_is_ignored(self, tmp_path):
+        cells = tiny_cells()[:1]
+        store = RunStore(tmp_path / "runs")
+        SweepRunner(cells, parallel=1, store=store).run()
+        (store.root / "notes.json").write_text("[]")  # non-object JSON
+        store.path_for(cells[0]).write_text("[1, 2]")  # even a hash-named one
+        assert not store.completed(cells[0])
+        assert store.completed_hashes() == set()
+        report = SweepRunner(cells, parallel=1, store=store).run()
+        assert report.executed == 1  # healed, not crashed
+
+    def test_store_file_carries_spec_and_history(self, tmp_path):
+        cells = tiny_cells()[:1]
+        store = RunStore(tmp_path / "runs")
+        SweepRunner(cells, parallel=1, store=store).run()
+        data = json.loads(store.path_for(cells[0]).read_text())
+        assert data["completed"] is True
+        assert data["spec"]["overrides"]["gamma"] == 3.0
+        assert data["history"]["records"]
+        assert store.completed_hashes() == {cells[0].spec_hash()}
+
+
+class TestReport:
+    def test_rankings_marginals_frontier(self):
+        report = SweepRunner(tiny_cells(), parallel=1).run()
+        ranked = report.best_cells(metric="final")
+        assert len(ranked) == 4
+        assert all(ranked[i][2] >= ranked[i + 1][2] for i in range(3))
+
+        marg = report.marginals()
+        assert set(marg) == {"gamma", "include_downlink"}
+        assert all(stats["n"] == 2.0 for stats in marg["gamma"].values())
+
+        frontier = report.time_to_accuracy_frontier(0.05)
+        times = [t for _, t in frontier if t is not None]
+        assert times == sorted(times)
+
+        pareto = report.pareto_frontier()
+        assert pareto
+        accs = [acc for *_, acc in pareto]
+        assert accs == sorted(accs)  # strictly improving along the frontier
+
+    def test_summarize_and_ascii_grid(self):
+        report = SweepRunner(tiny_cells(), parallel=1).run()
+        text = summarize_sweep(report, target=0.05)
+        assert "top cells" in text
+        assert "marginal over gamma" in text
+        assert "t_to_target" in text
+        assert "4 cell(s) run" in text
+
+        grid = ascii_sweep_grid(report, "gamma", "include_downlink")
+        assert "include_downlink \\ gamma" in grid
+        assert "mean final accuracy" in grid
+        with pytest.raises(ValueError, match="no cells carry"):
+            ascii_sweep_grid(report, "gamma", "nope")
+
+    def test_to_dict_is_jsonable(self):
+        report = SweepRunner(tiny_cells()[:1], parallel=1).run()
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["cells"][0]["final_accuracy"] is not None
+
+
+class TestRunnerBridges:
+    def test_run_grid_with_store(self, tmp_path):
+        report = run_grid(
+            tiny_base(), {"gamma": [3.0, 5.0]}, store=str(tmp_path / "runs")
+        )
+        assert len(report) == 2 and report.executed == 2
+        again = run_grid(
+            tiny_base(), {"gamma": [3.0, 5.0]}, store=str(tmp_path / "runs")
+        )
+        assert again.reused == 2
+
+    def test_run_scenario_by_name_with_overrides(self):
+        history = run_scenario(
+            "paper-baseline", rounds=1, num_train=160, num_test=80,
+            num_clients=4, eval_every=1,
+        )
+        assert len(history) == 1
+
+    def test_run_scenario_accepts_spec(self):
+        spec = ScenarioSpec.from_config(tiny_base(rounds=1), name="adhoc")
+        assert len(run_scenario(spec)) == 1
