@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Benchmark fleet-size scaling of the population engine, written to
+``BENCH_fleet.json``.
+
+Sweeps the fleet from 10K to 1M clients at a *fixed* cohort and measures,
+per fleet size,
+
+- ``construct_seconds``: wall-clock to build the full ``Simulation``
+  (population columns, sampler, model — no client objects), and
+- ``peak_mb`` / ``round_peak_mb``: traced allocation peaks (tracemalloc,
+  which sees numpy buffers) for construction alone and for construction
+  plus one seeded round,
+
+so the struct-of-arrays promise — construction ~O(columns) milliseconds,
+memory O(cohort) not O(fleet) — is tracked by an artifact, not anecdotes.
+Usage::
+
+    PYTHONPATH=src python scripts/bench_fleet.py [--fleets 10000,100000,1000000]
+        [--cohort 64] [--round] [--out PATH]
+
+``--round`` additionally runs one training round per fleet size (the
+default measures construction only, which is what scales with the fleet).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.simulation import Simulation
+
+DEFAULT_FLEETS = (10_000, 100_000, 1_000_000)
+
+
+def fleet_config(num_clients: int, cohort: int, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset="synth-cifar10",
+        model="mlp",
+        num_train=4096,
+        num_test=256,
+        num_clients=num_clients,
+        participation=cohort / num_clients,
+        virtual_shards=True,
+        virtual_shard_min=16,
+        virtual_shard_max=64,
+        hydration_cache=cohort,
+        rounds=1,
+        batch_size=32,
+        eval_every=10,
+        algorithm="bcrs_opwa",
+        compression_ratio=0.1,
+        seed=seed,
+    )
+
+
+def bench_fleet(num_clients: int, cohort: int, seed: int, run_round: bool) -> dict:
+    cfg = fleet_config(num_clients, cohort, seed)
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    t0 = time.perf_counter()
+    sim = Simulation(cfg)
+    construct = time.perf_counter() - t0
+    _, construct_peak = tracemalloc.get_traced_memory()
+
+    row = {
+        "num_clients": num_clients,
+        "cohort": cfg.clients_per_round,
+        "construct_seconds": round(construct, 4),
+        "peak_mb": round(construct_peak / 1e6, 2),
+        "population_columns_mb": round(sim.population.memory_bytes() / 1e6, 2),
+        "hydrations_after_construct": sim.clients.hydrations,
+    }
+    if run_round:
+        t0 = time.perf_counter()
+        sim.run(1)
+        row["round_seconds"] = round(time.perf_counter() - t0, 3)
+        _, round_peak = tracemalloc.get_traced_memory()
+        row["round_peak_mb"] = round(round_peak / 1e6, 2)
+        row["hydrations_after_round"] = sim.clients.hydrations
+    tracemalloc.stop()
+    sim.close()
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fleets", default=",".join(str(n) for n in DEFAULT_FLEETS),
+        help="comma-separated fleet sizes to sweep",
+    )
+    parser.add_argument("--cohort", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--round", action="store_true",
+        help="also run (and measure) one seeded round per fleet size",
+    )
+    parser.add_argument("--out", default="BENCH_fleet.json")
+    args = parser.parse_args()
+
+    fleets = [int(n) for n in args.fleets.split(",") if n]
+    results = [bench_fleet(n, args.cohort, args.seed, args.round) for n in fleets]
+    payload = {
+        "config": {
+            "cohort": args.cohort,
+            "virtual_shards": True,
+            "seed": args.seed,
+            "round_measured": bool(args.round),
+        },
+        "fleets": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    for r in results:
+        extra = (
+            f", round {r['round_seconds']:6.2f}s peak {r['round_peak_mb']:7.1f} MB"
+            if args.round
+            else ""
+        )
+        print(
+            f"N={r['num_clients']:>9,}: construct {r['construct_seconds']:7.3f}s, "
+            f"peak {r['peak_mb']:7.1f} MB (columns {r['population_columns_mb']:.1f} MB)"
+            f"{extra}"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

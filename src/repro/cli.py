@@ -82,6 +82,24 @@ def _add_common(p: argparse.ArgumentParser, *, mode_flag: bool = True) -> None:
             help="round protocol: lock-step sync, deadline semisync, FedBuff async",
         )
     p.add_argument(
+        "--num-clients", type=int, default=None, metavar="N",
+        help="fleet size (population columns scale to millions; see "
+             "--virtual-shards for fleets larger than the corpus)",
+    )
+    p.add_argument(
+        "--participation", type=float, default=None, metavar="C",
+        help="fraction of the fleet sampled per round",
+    )
+    p.add_argument(
+        "--virtual-shards", action="store_true",
+        help="fleet-scale data regime: client shards are counter-seeded "
+             "draws from the shared corpus instead of a partition of it",
+    )
+    p.add_argument(
+        "--hydration-cache", type=int, default=None, metavar="K",
+        help="LRU capacity for hydrated Client objects (default: cohort size)",
+    )
+    p.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="semisync: fixed round deadline on the virtual clock "
              "(default: per-round quantile of predicted finish times)",
@@ -141,7 +159,12 @@ def _config(args: argparse.Namespace, algorithm: str):
         overrides["backend"] = args.backend
     if args.rounds is not None:
         overrides["rounds"] = args.rounds
+    if getattr(args, "virtual_shards", False):
+        overrides["virtual_shards"] = True
     for flag, field in (
+        ("num_clients", "num_clients"),
+        ("participation", "participation"),
+        ("hydration_cache", "hydration_cache"),
         ("num_edges", "num_edges"),
         ("edge_rounds", "edge_rounds"),
         ("edge_assignment", "edge_assignment"),

@@ -14,6 +14,13 @@ state — its :class:`~repro.data.loader.BatchLoader` RNG stream and its
 every task for client ``i`` through the single object pair owning that
 state, in selection order, so a seeded run produces bit-identical results on
 every backend.
+
+The "clients" and "compressors" a :class:`WorkerContext` carries are lazy
+pools (:mod:`repro.population.hydration`): indexing ``clients[cid]`` hydrates
+the client from the population's column table on first touch. Because each
+per-client stream is a pure function of ``(seed, stream, cid)``, hydrating
+inside a worker yields the same object state as hydrating in the parent —
+backends need no materialization step before fan-out.
 """
 
 from __future__ import annotations

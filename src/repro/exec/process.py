@@ -5,7 +5,11 @@ Design:
 - **Fork-based persistent workers.** The pool forks once, on first use, so
   every worker inherits the full :class:`WorkerContext` (clients,
   compressors, one model replica) by copy-on-write — nothing is pickled at
-  startup and the dataset is not duplicated over pipes.
+  startup and the dataset is not duplicated over pipes. The client and
+  compressor pools are lazy, so what is inherited is the population's
+  column table, not client objects: each worker hydrates only the
+  ``cid % workers`` slice of each round's cohort, and the parent process
+  never hydrates at all.
 - **Stable client sharding.** Client ``cid`` is always executed by worker
   ``cid % workers``. Per-client state (batch-loader RNG stream,
   error-feedback residual) therefore lives in exactly one process and

@@ -78,6 +78,11 @@ class AvailabilityAwareSampler:
       (e.g. a Bernoulli process with ``p=0``, which can never produce one).
     - ``"skip"``: return an empty array immediately, letting the caller
       skip the round (one availability step is consumed either way).
+
+    With a :class:`~repro.population.table.Population` attached, every
+    availability step is mirrored into the fleet's ``available`` column, so
+    any column reader (analysis, BCRS planning, per-edge slicing) sees the
+    same churn state the sampler acted on — without per-client objects.
     """
 
     def __init__(
@@ -88,16 +93,23 @@ class AvailabilityAwareSampler:
         *,
         max_waits: int = 1000,
         on_empty: str = "wait",
+        population=None,
     ):
         if clients_per_round < 1:
             raise ValueError(f"clients_per_round must be >= 1, got {clients_per_round}")
         if on_empty not in ("wait", "skip"):
             raise ValueError(f"on_empty must be 'wait' or 'skip', got {on_empty!r}")
+        if population is not None and population.num_clients != availability.num_clients:
+            raise ValueError(
+                f"population of {population.num_clients} clients does not match "
+                f"availability model of {availability.num_clients}"
+            )
         self.availability = availability
         self.clients_per_round = int(clients_per_round)
         self.rng = as_generator(seed)
         self.max_waits = int(max_waits)
         self.on_empty = on_empty
+        self.population = population
 
     def sample(self) -> np.ndarray:
         """Available-client ids for this round (sorted, possibly < target).
@@ -106,6 +118,8 @@ class AvailabilityAwareSampler:
         """
         for _ in range(self.max_waits):
             mask = self.availability.step()
+            if self.population is not None:
+                self.population.available[:] = mask
             candidates = np.flatnonzero(mask)
             if candidates.size:
                 k = min(self.clients_per_round, candidates.size)

@@ -88,6 +88,17 @@ class ExperimentConfig:
     server_momentum: float = 0.0  # FedAvgM momentum (server_optimizer="sgd")
     deadline_quantile: float = 0.5  # deadline_topk: round ends at this time quantile
 
+    # Fleet-scale population (repro.population). virtual_shards switches the
+    # client-data regime from "partition the corpus" to "each client's shard
+    # is a procedural, counter-seeded draw from the shared corpus" — the
+    # regime that lets num_clients dwarf num_train and the population table
+    # construct in milliseconds at a million clients.
+    virtual_shards: bool = False
+    virtual_shard_min: int = 16  # virtual regime: smallest client shard
+    virtual_shard_max: int = 64  # virtual regime: largest client shard
+    hydration_cache: int | None = None  # LRU capacity for hydrated Client
+    #   objects (None = cohort size, clamped to the pool's default bounds)
+
     # Environment
     partition: str = "dirichlet"  # dirichlet | iid | shard
     volume_override_bits: float | None = None  # simulate a paper-scale model volume
@@ -164,6 +175,22 @@ class ExperimentConfig:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
         if self.partition not in ("dirichlet", "iid", "shard"):
             raise ValueError(f"unknown partition {self.partition!r}")
+        for name in ("virtual_shard_min", "virtual_shard_max"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.virtual_shard_max < self.virtual_shard_min:
+            raise ValueError(
+                f"virtual_shard_max must be >= virtual_shard_min, got "
+                f"{self.virtual_shard_max} < {self.virtual_shard_min}"
+            )
+        if self.hydration_cache is not None and self.hydration_cache < 1:
+            raise ValueError(f"hydration_cache must be >= 1, got {self.hydration_cache}")
+        if self.virtual_shards and self.time_varying_links:
+            raise ValueError(
+                "time_varying_links requires the partitioned regime: per-link "
+                "drift state is O(fleet), which the virtual-shard regime "
+                "exists to avoid"
+            )
         if self.volume_override_bits is not None and self.volume_override_bits <= 0:
             raise ValueError(
                 f"volume_override_bits must be > 0, got {self.volume_override_bits}"

@@ -1,4 +1,9 @@
-"""Client sampling: the fraction-C uniform selection of FedAvg (Alg. 1 line 7)."""
+"""Client sampling: the fraction-C uniform selection of FedAvg (Alg. 1 line 7).
+
+Sampling is column-free: it draws ids from ``rng.choice(num_clients, …)``
+without touching client objects, so selecting 10K ids out of a million-client
+population costs the same as out of a hundred.
+"""
 
 from __future__ import annotations
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import CompressedUpdate, SparseUpdate
-from repro.compression.registry import make_compressor
 from repro.compression.sparsifiers import k_from_ratio
 from repro.core.aggregation import weighted_sparse_sum
 from repro.core.opwa import opwa_mask_from_updates
@@ -29,17 +28,18 @@ from repro.data.datasets import DATASET_SPECS, train_test_split
 from repro.data.partition import dirichlet_partition, iid_partition, shard_partition
 from repro.exec import ClientTask, TrainSpec
 from repro.fl.algorithms import Algorithm, make_algorithm
-from repro.fl.client import Client
 from repro.fl.config import ExperimentConfig
 from repro.fl.engine import EngineMixin, build_config_model
 from repro.fl.history import History, RoundComm, RoundRecord
 from repro.fl.sampler import UniformSampler
 from repro.network.cost import LinkSpec, model_bits
-from repro.network.links import PAPER_LINK_MODEL, TimeVaryingLink, sample_links
+from repro.network.links import TimeVaryingLink
 from repro.network.transport import Payload, Transport
 from repro.nn.params import get_flat_params, num_parameters, set_flat_params
+from repro.population import ClientPool, CompressorPool, Population, default_cache_size
+from repro.population.table import LinkColumns
 from repro.simtime.events import SpanLog
-from repro.simtime.profiles import pipeline_times, sample_device_profiles
+from repro.simtime.profiles import pipeline_times
 from repro.utils.rng import RngFactory
 
 __all__ = ["Simulation", "run_experiment"]
@@ -52,12 +52,17 @@ class Simulation(EngineMixin):
         self.config = config
         rngs = RngFactory(config.seed)
 
-        # Data: shared templates for train/test, then a client partition.
+        # Data: shared templates for train/test, then a client partition —
+        # skipped entirely in the virtual-shard regime, where each client's
+        # shard is a counter-seeded procedural draw from the corpus and the
+        # fleet may dwarf it (repro.population).
         spec = DATASET_SPECS[config.dataset]
         self.train_set, self.test_set = train_test_split(
             spec, config.num_train, config.num_test, seed=config.seed
         )
-        if config.partition == "dirichlet":
+        if config.virtual_shards:
+            self.partition = None
+        elif config.partition == "dirichlet":
             self.partition = dirichlet_partition(
                 self.train_set.y, config.num_clients, config.beta, seed=rngs.stream("partition")
             )
@@ -83,23 +88,30 @@ class Simulation(EngineMixin):
             else model_bits(num_parameters(self.model))
         )
 
-        # Clients with independent data-order streams.
+        # The fleet as a struct-of-arrays table: link/compute/size columns
+        # for every client (O(fleet) bytes, not objects), with full Client
+        # objects hydrated lazily for the sampled cohort only. The
+        # partitioned regime replays the historical draw order, so seeded
+        # runs reproduce the pre-population histories bit-for-bit.
+        self.population = Population.from_config(config, partition=self.partition)
         flatten = config.model == "mlp"
-        self.clients = [
-            Client(
-                cid,
-                self.train_set.subset(ix),
-                config.batch_size,
-                rngs.child("client", cid),
-                flatten_inputs=flatten,
-            )
-            for cid, ix in enumerate(self.partition.client_indices)
-        ]
-
-        # Network links (paper Sec. 5.2), optionally drifting per round.
-        self.links: list[LinkSpec] = sample_links(
-            config.num_clients, PAPER_LINK_MODEL, seed=rngs.stream("links")
+        cache = (
+            config.hydration_cache
+            if config.hydration_cache is not None
+            else default_cache_size(config.clients_per_round)
         )
+        self.clients = ClientPool(
+            self.population,
+            self.train_set,
+            config.batch_size,
+            flatten_inputs=flatten,
+            cache_size=cache,
+        )
+
+        # Network links (paper Sec. 5.2): a lazy LinkSpec view over the
+        # population columns, optionally drifting per round (drift state is
+        # O(fleet), so the partitioned regime only — config enforces it).
+        self.links: list[LinkSpec] | LinkColumns = self.population.links
         self._varying: list[TimeVaryingLink] | None = None
         if config.time_varying_links:
             link_rng = rngs.stream("link-drift")
@@ -109,14 +121,10 @@ class Simulation(EngineMixin):
             ]
 
         # Device timing profiles (repro.simtime): per-client compute speed
-        # drawn once, like the links. Used to price each round's virtual-time
-        # span; the event-driven protocols schedule from them directly.
-        self.devices = sample_device_profiles(
-            self.links,
-            median_s_per_sample=config.compute_s_per_sample,
-            heterogeneity=config.compute_heterogeneity,
-            seed=rngs.stream("compute"),
-        )
+        # drawn once into the population's columns, viewed as DeviceProfiles
+        # on demand. Used to price each round's virtual-time span; the
+        # event-driven protocols schedule from them directly.
+        self.devices = self.population.devices
         self.spans = SpanLog()  # per-client train/upload intervals (viz/ascii timeline)
         self.sim_clock = 0.0  # virtual time at which the last round completed
 
@@ -132,10 +140,10 @@ class Simulation(EngineMixin):
             if config.compressor is not None
             else self.algorithm.compressor_name
         )
+        # Compressors hydrate on first use and persist forever (EF residuals
+        # are client state); only ever-sampled clients pay the cost.
         self.compressors = (
-            [make_compressor(comp_name, seed=rngs.child("compressor", cid)) for cid in range(config.num_clients)]
-            if comp_name
-            else None
+            CompressorPool(comp_name, self.population) if comp_name else None
         )
 
         # Unified transport (repro.network.transport): every transfer is
@@ -259,7 +267,7 @@ class Simulation(EngineMixin):
             self.devices[cid],
             volume_bits=self.volume_bits,
             ratio=ratio,
-            num_samples=self.clients[cid].num_samples,
+            num_samples=int(self.population.data_sizes[cid]),
             epochs=cfg.local_epochs,
             include_downlink=cfg.include_downlink,
             downlink_factor=cfg.downlink_factor,
@@ -357,8 +365,10 @@ class Simulation(EngineMixin):
             self.links = [tv.step() for tv in self._varying]
         sel_links = [self.links[i] for i in selected]
 
-        # f_i = |D_i| / n over the selected set (Alg. 1 lines 8/13).
-        sizes = np.array([self.clients[i].num_samples for i in selected], dtype=np.float64)
+        # f_i = |D_i| / n over the selected set (Alg. 1 lines 8/13) — read
+        # from the population columns so the parent never hydrates clients
+        # (under the process backend, hydration belongs to the workers).
+        sizes = self.population.sizes_of(selected)
         freqs = sizes / sizes.sum()
 
         plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)

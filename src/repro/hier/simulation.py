@@ -56,12 +56,12 @@ class HierSimulation(Simulation):
         # One server optimizer per edge (identical hyperparameters); its
         # state (momentum/Adam moments) persists across cloud rounds.
         self.edge_opts = [self._make_server_opt() for _ in self.topology.groups]
-        # Cloud-level averaging weights: each edge counts its group's data.
+        # Record the client→edge assignment in the population table, and
+        # weight the cloud tier by each group's data — summed from the size
+        # column, so a fleet-scale hierarchy never hydrates clients here.
+        self.population.bind_edges(self.topology.groups)
         sizes = np.array(
-            [
-                sum(self.clients[c].num_samples for c in group)
-                for group in self.topology.groups
-            ],
+            [self.population.group_size(group) for group in self.topology.groups],
             dtype=np.float64,
         )
         self.edge_freqs = sizes / sizes.sum()
@@ -91,9 +91,7 @@ class HierSimulation(Simulation):
         selected = self._sample_group(group)
         sel_links = [self.links[i] for i in selected]
 
-        sizes = np.array(
-            [self.clients[i].num_samples for i in selected], dtype=np.float64
-        )
+        sizes = self.population.sizes_of(selected)
         freqs = sizes / sizes.sum()
         # BCRS benchmarks against this group's own slowest member.
         plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)

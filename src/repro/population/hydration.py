@@ -1,0 +1,186 @@
+"""Lazy client/compressor pools: hydrate the cohort, not the fleet.
+
+The pools are drop-in replacements for the eager ``list[Client]`` /
+``list[Compressor]`` the simulations used to build — same indexing protocol
+(``pool[cid]``), same length, same iteration — but a full object exists only
+while a client is *hot*:
+
+- :class:`ClientPool` holds an LRU of hydrated :class:`~repro.fl.client.
+  Client` objects. Hydrating client ``cid`` rebuilds its shard from the
+  population's :meth:`~repro.population.table.Population.shard_indices` and
+  wires in the client's **persistent** batch-loader generator, which lives
+  in a side table outside the LRU. Eviction therefore only drops the shard
+  arrays and loader object; re-hydration resumes the identical RNG stream,
+  so cache size is semantically invisible — a fact the equivalence suite
+  pins by running goldens under a cache of 2.
+- :class:`CompressorPool` hydrates compressors on first use and keeps them
+  forever: error-feedback residuals *are* client state and have no
+  reconstruction rule, so a compressor that has compressed once can never
+  be dropped. Only ever-sampled clients pay this cost.
+
+Stream derivation matches the population's shard regime: the partitioned
+regime keeps the historical ``RngFactory.child`` SeedSequence families
+(``"client"``/``"compressor"``) for bit-for-bit golden equivalence; the
+virtual regime derives both from counter-based Philox streams
+(:meth:`~repro.utils.rng.RngFactory.counter`), the O(1) scheme that scales
+to million-client fleets. Both are pure functions of ``(seed, cid)``, so
+hydration order — across rounds, threads, or forked process workers — can
+never change a client's draws.
+
+Thread/process notes: a ``threading.Lock`` guards pool bookkeeping because
+the thread backend shares one pool among all worker contexts (each client
+still runs at most one task at a time, so the *objects* need no locking,
+exactly as before the refactor). The fork-based process backend inherits
+the pools copy-on-write; each worker then hydrates only the cids of its
+``cid % workers`` shard, which is what keeps worker memory at
+O(cohort / workers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.compression.registry import make_compressor
+from repro.population.table import Population
+from repro.utils.rng import RngFactory
+
+__all__ = ["ClientPool", "CompressorPool", "DEFAULT_CACHE"]
+
+#: LRU floor: small fleets fit entirely, so legacy tests that iterate
+#: ``sim.clients`` see every client resident at once.
+DEFAULT_CACHE = 64
+
+#: LRU ceiling for the default policy (explicit ``hydration_cache`` wins):
+#: bounds resident shard memory even when the cohort is huge.
+DEFAULT_CACHE_CAP = 4096
+
+
+def default_cache_size(cohort: int) -> int:
+    """Default LRU capacity: the round's cohort, clamped to sane bounds."""
+    return max(DEFAULT_CACHE, min(int(cohort), DEFAULT_CACHE_CAP))
+
+
+def _client_cls():
+    # Imported lazily: repro.fl.simulation imports this module, and pulling
+    # repro.fl.client in at module scope would run repro.fl's package init
+    # mid-import of repro.population — a cycle. Pool construction happens
+    # long after both packages are fully initialized.
+    from repro.fl.client import Client
+
+    return Client
+
+
+class ClientPool:
+    """Sequence-like lazy ``Client`` pool over a :class:`Population`."""
+
+    def __init__(
+        self,
+        population: Population,
+        train_set,
+        batch_size: int,
+        *,
+        flatten_inputs: bool,
+        cache_size: int,
+    ):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self._population = population
+        self._train_set = train_set
+        self._batch_size = int(batch_size)
+        self._flatten = bool(flatten_inputs)
+        self._cache_size = int(cache_size)
+        self._rngs = RngFactory(population.seed)
+        self._counter_streams = population.partition is None
+        self._cache: OrderedDict[int, object] = OrderedDict()
+        #: cid → loader generator; survives eviction (the one piece of
+        #: client state that advances during training).
+        self._loader_rngs: dict[int, np.random.Generator] = {}
+        self._lock = threading.Lock()
+        #: Total Client constructions ever (rehydrations included) — the
+        #: materialization observable the no-eager-fleet tests assert on.
+        self.hydrations = 0
+
+    def __len__(self) -> int:
+        return self._population.num_clients
+
+    def __iter__(self):
+        return (self[cid] for cid in range(len(self)))
+
+    def _loader_rng(self, cid: int) -> np.random.Generator:
+        rng = self._loader_rngs.get(cid)
+        if rng is None:
+            if self._counter_streams:
+                rng = self._rngs.counter("client", cid)
+            else:
+                rng = self._rngs.child("client", cid)
+            self._loader_rngs[cid] = rng
+        return rng
+
+    def __getitem__(self, cid: int):
+        cid = int(cid)
+        if not 0 <= cid < len(self):
+            raise IndexError(f"client id {cid} out of range [0, {len(self)})")
+        with self._lock:
+            client = self._cache.get(cid)
+            if client is not None:
+                self._cache.move_to_end(cid)
+                return client
+            shard = self._train_set.subset(self._population.shard_indices(cid))
+            client = _client_cls()(
+                cid,
+                shard,
+                self._batch_size,
+                self._loader_rng(cid),
+                flatten_inputs=self._flatten,
+            )
+            self._cache[cid] = client
+            self.hydrations += 1
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+            return client
+
+    @property
+    def resident(self) -> int:
+        """Clients currently hydrated (≤ cache size)."""
+        return len(self._cache)
+
+
+class CompressorPool:
+    """Lazy per-client compressors; hydrated once, retained forever."""
+
+    def __init__(self, name: str, population: Population):
+        self._name = str(name)
+        self._population = population
+        self._rngs = RngFactory(population.seed)
+        self._counter_streams = population.partition is None
+        self._pool: dict[int, object] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return self._population.num_clients
+
+    def __iter__(self):
+        return (self[cid] for cid in range(len(self)))
+
+    def __getitem__(self, cid: int):
+        cid = int(cid)
+        if not 0 <= cid < len(self):
+            raise IndexError(f"client id {cid} out of range [0, {len(self)})")
+        with self._lock:
+            comp = self._pool.get(cid)
+            if comp is None:
+                if self._counter_streams:
+                    seed = self._rngs.counter("compressor", cid)
+                else:
+                    seed = self._rngs.child("compressor", cid)
+                comp = make_compressor(self._name, seed=seed)
+                self._pool[cid] = comp
+            return comp
+
+    @property
+    def resident(self) -> int:
+        """Compressors hydrated so far (ever-sampled clients)."""
+        return len(self._pool)

@@ -201,9 +201,7 @@ class _EventDrivenSimulation(Simulation):
 
     def _contribution_freqs(self, contributions: list[_Pending]) -> np.ndarray:
         """Data frequencies f_i over the contributors (normalized)."""
-        sizes = np.array(
-            [self.clients[p.cid].num_samples for p in contributions], dtype=np.float64
-        )
+        sizes = self.population.sizes_of([p.cid for p in contributions])
         return sizes / sizes.sum()
 
     def _staleness_weights(self, contributions: list[_Pending]) -> np.ndarray:
@@ -452,9 +450,7 @@ class SemiSyncSimulation(_EventDrivenSimulation):
         plan_weights: dict[int, float] = {}
         if selected:
             sel_links = [self.links[i] for i in selected]
-            sizes = np.array(
-                [self.clients[i].num_samples for i in selected], dtype=np.float64
-            )
+            sizes = self.population.sizes_of(selected)
             freqs = sizes / sizes.sum()
             plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)
             tasks = [

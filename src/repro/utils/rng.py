@@ -4,9 +4,25 @@ Every stochastic component in the library takes a ``numpy.random.Generator``.
 Experiments derive *independent named streams* from a single root seed via
 ``RngFactory`` so that, e.g., client sampling and data partitioning do not
 perturb each other's sequences when one of them changes.
+
+Two per-entity derivation schemes coexist:
+
+- :meth:`RngFactory.child` mixes ``(seed, name, index)`` through a
+  ``SeedSequence`` — the historical scheme every pre-population golden
+  history was recorded under;
+- :meth:`RngFactory.counter` keys a counter-based ``Philox`` bit generator
+  directly on ``(seed, name, index)`` — O(1) construction with no
+  SeedSequence mixing, the scheme the million-client population table uses
+  for per-client draws (shard contents) that must be reconstructible on
+  demand, in any order, on any process worker.
+
+Both are pure functions of their inputs, so hydrating a client lazily
+yields exactly the stream its eager construction would have received.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -69,3 +85,36 @@ class RngFactory:
             spawn_key=tuple(int(w) for w in words) + (int(index),),
         )
         return np.random.default_rng(ss)
+
+    def counter_key(self, name: str) -> int:
+        """The 64-bit Philox key word identifying stream ``name`` under this seed.
+
+        A keyed BLAKE2 digest of the stream name, salted with the root seed,
+        so distinct ``(seed, name)`` pairs map to distinct key words (up to a
+        2⁻⁶⁴ hash collision) and renaming a stream can never silently alias
+        another one.
+        """
+        digest = hashlib.blake2b(
+            name.encode("utf-8"),
+            digest_size=8,
+            key=str(self._seed).encode("utf-8"),
+        ).digest()
+        return int.from_bytes(digest, "little")
+
+    def counter(self, name: str, index: int) -> np.random.Generator:
+        """Counter-based per-entity stream: ``Philox(key=(seed⊕name, index))``.
+
+        Unlike :meth:`child`, the key is consumed directly by the Philox
+        block cipher — no SeedSequence pool mixing — so constructing the
+        ``index``-th stream is O(1) and *stateless*: any process can rebuild
+        client ``index``'s generator at any time, in any order, and read the
+        identical sequence. Distinct ``(name, index)`` pairs key distinct
+        Philox streams by construction (Philox's key words are independent
+        cipher keys), which is what lets a million-client population draw
+        per-client randomness on demand instead of holding a million
+        generator objects.
+        """
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        bitgen = np.random.Philox(key=[self.counter_key(name), int(index)])
+        return np.random.Generator(bitgen)

@@ -1,0 +1,10 @@
+"""Make the frozen golden configs importable from the test modules."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# golden_configs.py / make_goldens.py live beside the tests but are also a
+# standalone generator script; import them by path rather than packaging.
+sys.path.insert(0, str(Path(__file__).parent))

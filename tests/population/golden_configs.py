@@ -1,0 +1,93 @@
+"""The frozen configs behind the population-refactor golden histories.
+
+One config per protocol mode, each ≤64 clients and a few rounds, chosen to
+exercise the per-client state the lazy-hydration refactor must preserve:
+seeded batch-loader streams (every config), stateful error-feedback
+compressor residuals (``eftopk``), per-client compressor RNG (``qsgd8``),
+and the BCRS/OPWA planning path.
+
+``tests/population/goldens/*.json`` were generated from these configs by
+``make_goldens.py`` **before** the struct-of-arrays population refactor
+landed (PR 6), so matching them bit-for-bit proves the population path
+reproduces the eager per-client-object construction exactly. Regenerating
+them requires checking out the pre-refactor tree; they are frozen artifacts,
+not build products.
+"""
+
+from __future__ import annotations
+
+from repro.fl.config import ExperimentConfig
+
+__all__ = ["GOLDEN_CONFIGS", "golden_name"]
+
+
+def _cfg(**overrides) -> ExperimentConfig:
+    base = dict(
+        dataset="synth-cifar10",
+        model="mlp",
+        num_train=480,
+        num_test=160,
+        num_clients=12,
+        participation=0.5,
+        rounds=4,
+        batch_size=32,
+        lr=0.1,
+        seed=7,
+        eval_every=2,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+#: name → config. Names key the golden JSON files.
+GOLDEN_CONFIGS: dict[str, ExperimentConfig] = {
+    # Lock-step sync with the paper's full machinery: BCRS ratios + OPWA.
+    "sync-bcrs_opwa": _cfg(algorithm="bcrs_opwa", compression_ratio=0.1),
+    # Sync with stateful error feedback — residuals must survive rounds.
+    "sync-eftopk": _cfg(algorithm="eftopk", compression_ratio=0.2),
+    # Sync with a seeded quantizer override — per-client compressor RNG.
+    "sync-qsgd8": _cfg(algorithm="topk", compressor="qsgd8", compression_ratio=0.2),
+    # Deadline semi-sync with carryover staleness (event-driven dispatch).
+    "semisync-eftopk": _cfg(
+        algorithm="eftopk",
+        compression_ratio=0.2,
+        mode="semisync",
+        deadline_quantile=0.6,
+        late_policy="carryover",
+        rounds=5,
+    ),
+    # FedBuff async: deferred-training batches, staleness weights.
+    "async-topk": _cfg(
+        algorithm="topk",
+        compression_ratio=0.2,
+        mode="async",
+        concurrency=4,
+        buffer_size=2,
+        rounds=5,
+    ),
+    # Hierarchical: three edges, two sub-rounds, costly backhaul.
+    "hier-bcrs_opwa": _cfg(
+        algorithm="bcrs_opwa",
+        compression_ratio=0.1,
+        mode="hier",
+        num_edges=3,
+        edge_rounds=2,
+        backhaul_bandwidth_mbps=50.0,
+        backhaul_latency_s=0.02,
+        rounds=3,
+    ),
+    # Larger fleet at the satellite's 64-client ceiling, dense FedAvg.
+    "sync-fedavg-64": _cfg(
+        algorithm="fedavg",
+        compression_ratio=1.0,
+        num_clients=64,
+        num_train=1280,
+        participation=0.25,
+        rounds=3,
+    ),
+}
+
+
+def golden_name(name: str) -> str:
+    """Golden JSON filename for config ``name``."""
+    return f"{name}.json"

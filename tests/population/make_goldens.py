@@ -1,0 +1,51 @@
+"""Generate the frozen golden histories for the population equivalence suite.
+
+Run from the repo root with the **pre-refactor** tree checked out::
+
+    PYTHONPATH=src:tests python tests/population/make_goldens.py
+
+Each golden records the deterministic parts of a seeded serial run — the
+full :func:`~repro.io.history_io.history_to_dict` payload with the two
+wall-clock fields zeroed, plus the span log — for one of the
+``golden_configs.GOLDEN_CONFIGS`` entries. The equivalence tests replay the
+same configs through the population path on every execution backend and
+require bitwise equality.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.io.history_io import history_to_dict
+from repro.simtime import make_simulation
+
+from golden_configs import GOLDEN_CONFIGS, golden_name
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def golden_payload(config) -> dict:
+    """Run ``config`` serially and return its deterministic trace."""
+    with make_simulation(config.with_(backend="serial")) as sim:
+        history = sim.run()
+        spans = [[s.cid, s.kind, s.start, s.end, s.tag] for s in sim.spans]
+    payload = history_to_dict(history)
+    for rec in payload["records"]:
+        # Wall-clock fields are nondeterministic by nature; zero them so the
+        # stored goldens are bitwise-comparable.
+        rec["train_seconds"] = 0.0
+        rec["compress_seconds"] = 0.0
+    return {"history": payload, "spans": spans}
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, config in GOLDEN_CONFIGS.items():
+        out = GOLDEN_DIR / golden_name(name)
+        out.write_text(json.dumps(golden_payload(config)))
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

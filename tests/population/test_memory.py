@@ -1,0 +1,87 @@
+"""Memory regression guard: fleet size must not buy fleet-sized memory.
+
+The population refactor's core promise is memory O(active cohort) +
+O(columns). These tests compare traced allocation peaks of a 100K-client
+fleet against a 1K-client fleet at the *same* 64-client cohort: if eager
+per-client materialization (shard copies, loaders, compressors) ever
+returns, the big fleet's peak explodes by orders of magnitude and the
+bounds here fail long before CI's memory does.
+
+tracemalloc sees numpy buffers (numpy routes allocations through
+``PyTraceMalloc_Track``), so traced peaks are a faithful, RSS-independent
+proxy that stays stable across machines.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.simulation import Simulation
+
+COHORT = 64
+
+#: 100×-fleet overhead allowed beyond the small fleet's peak: the six
+#: population columns at 100K clients are ~2.6 MB; 32 MB of slack absorbs
+#: allocator noise while staying ~3 orders of magnitude below what eager
+#: hydration of 100K shards would cost.
+SLACK_BYTES = 32 * 1024 * 1024
+
+
+def fleet_config(num_clients: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset="synth-cifar10",
+        model="mlp",
+        num_train=512,
+        num_test=64,
+        num_clients=num_clients,
+        participation=COHORT / num_clients,
+        virtual_shards=True,
+        virtual_shard_min=8,
+        virtual_shard_max=24,
+        hydration_cache=COHORT,
+        rounds=1,
+        batch_size=8,
+        eval_every=10,
+        algorithm="eftopk",
+        compression_ratio=0.25,
+        seed=11,
+    )
+
+
+def traced_peak(num_clients: int) -> int:
+    """Traced allocation peak (bytes) of construct + one round."""
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    with Simulation(fleet_config(num_clients)) as sim:
+        sim.run(1)
+        assert len(sim.history.records[0].selected) == COHORT
+        hydrated = sim.clients.hydrations
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert hydrated == COHORT  # only the cohort ever materialized
+    return peak
+
+
+@pytest.mark.slow
+def test_peak_memory_is_cohort_bound_not_fleet_bound():
+    small = traced_peak(1_000)
+    large = traced_peak(100_000)
+    # 100× the fleet must cost only the columns (plus slack), never 100×
+    # the objects. An eager-materialization regression overshoots this by
+    # ~3 orders of magnitude.
+    assert large <= small + SLACK_BYTES, (
+        f"100K-client peak {large / 1e6:.1f} MB vs 1K-client "
+        f"{small / 1e6:.1f} MB — fleet-sized materialization is back"
+    )
+
+
+def test_population_columns_scale_linearly_and_small():
+    cfg = fleet_config(100_000)
+    from repro.population import Population
+
+    pop = Population.from_config(cfg, partition=None)
+    # 3 float64 + 1 int64 + 1 bool + 1 int32 column = 37 bytes/client.
+    assert pop.memory_bytes() == 100_000 * 37
