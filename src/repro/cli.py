@@ -45,6 +45,7 @@ from repro.experiments.runner import (
 )
 from repro.fl.config import ALGORITHMS, BACKENDS, MODES
 from repro.io.history_io import export_curves_csv, save_history
+from repro.obs import SweepProgress, format_profile, load_trace, make_obs
 from repro.scenarios import (
     REGISTRY,
     RunStore,
@@ -143,6 +144,31 @@ def _add_common(p: argparse.ArgumentParser, *, mode_flag: bool = True) -> None:
     p.add_argument("--export-csv", metavar="PATH", default=None)
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome-trace JSON (open in Perfetto) plus a sibling "
+             ".jsonl event stream; tracing off = zero-overhead null path",
+    )
+    p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write a metrics-registry JSON plus a sibling .prom "
+             "(Prometheus text) snapshot",
+    )
+
+
+def _finish_obs(obs, sim=None) -> None:
+    """Export the run's observability artifacts (virtual spans included)."""
+    if not obs.enabled:
+        return
+    if sim is not None and obs.tracer.enabled and getattr(sim, "spans", None):
+        # Mirror the virtual-clock timeline next to the wall-clock one;
+        # capped so a mega-fleet trace stays Perfetto-sized.
+        obs.tracer.add_virtual_spans(sim.spans, limit=20_000)
+    for path in obs.export():
+        print(f"wrote {path}")
+
+
 def _config(args: argparse.Namespace, algorithm: str):
     maker = paper_config if args.paper_scale else bench_config
     overrides = {
@@ -192,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one algorithm and print its curve")
     p_run.add_argument("--algorithm", default="bcrs_opwa", choices=ALGORITHMS)
     _add_common(p_run)
+    _add_obs_flags(p_run)
 
     p_cmp = sub.add_parser("compare", help="run all five Table 2 algorithms")
     p_cmp.add_argument(
@@ -236,7 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--target-acc", type=float, default=None,
         help="also report the virtual time-to-target frontier",
     )
+    p_sweep.add_argument(
+        "--progress", action="store_true",
+        help="live one-line status: cells done/running/failed + ETA",
+    )
     _add_common(p_sweep)
+    _add_obs_flags(p_sweep)
     # Null the defaults so a --scenario base is only overridden by flags
     # the user actually typed (see _config / _cmd_sweep).
     p_sweep.set_defaults(seed=None, backend=None)
@@ -255,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_scn.add_argument("--workers", type=int, default=None)
     p_scn.add_argument("--save-history", metavar="PATH", default=None)
     p_scn.add_argument("--export-csv", metavar="PATH", default=None)
+    _add_obs_flags(p_scn)
 
     p_modes = sub.add_parser(
         "modes", help="race sync vs semisync vs async on one config"
@@ -289,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many top-uplink clients to list (default: 5)",
     )
     _add_common(p_comm)
+    _add_obs_flags(p_comm)
+
+    p_prof = sub.add_parser(
+        "profile", help="rank the top hot spots from an exported trace"
+    )
+    p_prof.add_argument("trace", help="trace file: Chrome JSON or .jsonl stream")
+    p_prof.add_argument(
+        "--top", type=int, default=10, help="hot spots to list (default: 10)"
+    )
 
     sub.add_parser("info", help="print registered algorithms and compressors")
     return parser
@@ -303,10 +345,21 @@ def main(argv: list[str] | None = None) -> int:
         print("compressors: " + ", ".join(available_compressors()))
         return 0
 
+    if args.command == "profile":
+        try:
+            spans = load_trace(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+            return 2
+        print(format_profile(spans, top=args.top))
+        return 0
+
     if args.command == "run":
         cfg = _config(args, args.algorithm)
-        with make_simulation(cfg) as sim:
+        obs = make_obs(args.trace, args.metrics)
+        with make_simulation(cfg, obs=obs) as sim:
             history = sim.run()
+            _finish_obs(obs, sim)
         print(series_text(history, every=max(1, cfg.rounds // 10)))
         virt = history.records[-1].sim_end if history.records else 0.0
         print(f"\nfinal accuracy {history.final_accuracy():.4f}  "
@@ -367,8 +420,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "comm":
         cfg = _config(args, args.algorithm)
-        with make_simulation(cfg) as sim:
+        obs = make_obs(args.trace, args.metrics)
+        with make_simulation(cfg, obs=obs) as sim:
             history = sim.run()
+            _finish_obs(obs, sim)
         print(summarize_comm(history, top=args.top))
         print(f"\nmode {cfg.mode}  contention {cfg.contention}  "
               f"final accuracy {history.final_accuracy():.4f}")
@@ -448,14 +503,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for cell in cells:
             cell.to_config()  # surface cross-field errors before running
         store = RunStore(args.store) if args.store else None
+        obs = make_obs(args.trace, args.metrics)
+        live = (
+            SweepProgress(len(cells), parallel=args.parallel)
+            if args.progress
+            else None
+        )
         runner = SweepRunner(
-            cells, parallel=args.parallel, executor=args.executor, store=store
+            cells,
+            parallel=args.parallel,
+            executor=args.executor,
+            store=store,
+            obs=obs,
+            on_start=(lambda s: live.on_start(s.name)) if live else None,
+            progress=(
+                (lambda s, c: live.on_result(s.name, {"ok": True}, cached=c))
+                if live
+                else None
+            ),
         )
     except (KeyError, ValueError) as exc:
         print(_errmsg(exc), file=sys.stderr)
         return 2
 
-    report = runner.run()
+    try:
+        report = runner.run()
+    finally:
+        if live is not None:
+            live.close()
+    _finish_obs(obs)
     for spec, h in report.cells:
         print(f"{report.label(spec)}: final {h.final_accuracy():.4f}  "
               f"best {h.best_accuracy():.4f}")
@@ -513,8 +589,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
     spec = spec.with_overrides(**_layered_overrides(args))
     cfg = spec.to_config()
-    with make_simulation(cfg) as sim:
+    obs = make_obs(args.trace, args.metrics)
+    with make_simulation(cfg, obs=obs) as sim:
         history = sim.run()
+        _finish_obs(obs, sim)
     print(series_text(history, every=max(1, cfg.rounds // 10)))
     virt = history.records[-1].sim_end if history.records else 0.0
     print(f"\nscenario {spec.name}  mode {cfg.mode}  "

@@ -108,6 +108,14 @@ class TaskResult:
     train_seconds: float  # per-task wall clock (summed into Fig. 6)
     compress_seconds: float
     delta: np.ndarray | None = None  # raw dense delta iff spec.return_delta
+    #: Trace-clock instants bounding the task (``time.perf_counter`` is
+    #: CLOCK_MONOTONIC on Linux, shared across forked workers, so these are
+    #: directly comparable to the parent tracer's epoch). ``wall_start`` →
+    #: ``wall_compress`` is the train span; ``wall_compress`` →
+    #: ``wall_start + train + compress`` is the compress span.
+    wall_start: float = 0.0
+    wall_compress: float = 0.0
+    worker_pid: int = 0  # lane id for the trace (os.getpid() in the worker)
 
 
 class WorkerContext:
@@ -153,7 +161,7 @@ class WorkerContext:
             raise ValueError(f"task for client {task.cid} has no parameters")
         client = self.clients[task.cid]
 
-        t0 = time.perf_counter()
+        wall_start = t0 = time.perf_counter()
         res = client.local_train(
             self.model,
             params,
@@ -167,7 +175,7 @@ class WorkerContext:
         )
         train_seconds = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
+        wall_compress = t0 = time.perf_counter()
         if task.ratio is None:
             update: CompressedUpdate = DenseUpdate(
                 dense_size=res.delta.shape[0], values=res.delta
@@ -191,6 +199,9 @@ class WorkerContext:
             train_seconds=train_seconds,
             compress_seconds=compress_seconds,
             delta=res.delta if spec.return_delta else None,
+            wall_start=wall_start,
+            wall_compress=wall_compress,
+            worker_pid=os.getpid(),
         )
 
 

@@ -176,7 +176,7 @@ class DecentralizedSimulation(EngineMixin):
                 ClientTask(position=i, cid=i, ratio=cfg.compression_ratio, params_row=i)
                 for i in range(n)
             ]
-            results = self.backend.run_round(tasks, self.params, None, self._train_spec)
+            results = self._run_tasks(tasks, self.params, None, self._train_spec)
             for i, res in enumerate(results):
                 new_params[i] = self.params[i] - res.delta
                 compressed_new[i] = self.params[i] - res.update.to_dense()

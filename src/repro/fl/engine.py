@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.data.datasets import DATASET_SPECS
 from repro.exec import ExecutionBackend, WorkerContext, make_backend
 from repro.nn.models import build_model
+from repro.obs import NULL_OBS
 
 __all__ = ["build_config_model", "EngineMixin"]
 
@@ -48,6 +49,8 @@ class EngineMixin:
 
     _backend: ExecutionBackend | None = None
     _engine_closed: bool = False
+    #: Observability bundle; hosts overwrite with a live Obs when requested.
+    obs = NULL_OBS
 
     def _replica_model(self):
         """A fresh architecturally-identical model for a parallel worker.
@@ -76,6 +79,51 @@ class EngineMixin:
                 workers=self.config.workers,
             )
         return self._backend
+
+    def _run_tasks(self, tasks, global_params, global_states, spec):
+        """``backend.run_round`` plus observability: the one fan-out site.
+
+        Wraps the round's task execution in an ``exec.round`` span and, when
+        observability is live, replays each task's wall-clock instants
+        (stamped inside the worker by :meth:`WorkerContext.execute`) as
+        ``client.train`` / ``client.compress`` spans on the worker's pid
+        lane. perf_counter is process-shared on Linux, so worker timestamps
+        line up with the parent trace without any clock translation.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return self.backend.run_round(tasks, global_params, global_states, spec)
+        tracer, metrics = obs.tracer, obs.metrics
+        with tracer.span("exec.round", cat="exec", tasks=len(tasks)):
+            results = self.backend.run_round(tasks, global_params, global_states, spec)
+        train_hist = metrics.histogram("task_train_seconds")
+        compress_hist = metrics.histogram("task_compress_seconds")
+        for r in results:
+            if r.wall_start:
+                tracer.name_lane(r.worker_pid, f"worker-{r.worker_pid}")
+                tracer.add_span(
+                    "client.train",
+                    r.wall_start,
+                    r.wall_compress,
+                    cat="exec",
+                    tid=r.worker_pid,
+                    cid=r.cid,
+                )
+                tracer.add_span(
+                    "client.compress",
+                    r.wall_compress,
+                    r.wall_compress + r.compress_seconds,
+                    cat="exec",
+                    tid=r.worker_pid,
+                    cid=r.cid,
+                )
+                metrics.counter("worker_busy_seconds", worker=r.worker_pid).inc(
+                    r.train_seconds + r.compress_seconds
+                )
+            train_hist.observe(r.train_seconds)
+            compress_hist.observe(r.compress_seconds)
+        metrics.counter("tasks_executed").inc(len(results))
+        return results
 
     def close(self) -> None:
         """Shut down backend workers and retire this simulation's engine.

@@ -35,6 +35,8 @@ from repro.fl.sampler import UniformSampler
 from repro.network.cost import LinkSpec, model_bits
 from repro.network.links import TimeVaryingLink
 from repro.network.transport import Payload, Transport
+from repro.obs import NULL_OBS, Obs
+from repro.obs.tracer import trace_clock
 from repro.nn.params import get_flat_params, num_parameters, set_flat_params
 from repro.population import ClientPool, CompressorPool, Population, default_cache_size
 from repro.population.table import LinkColumns
@@ -48,8 +50,11 @@ __all__ = ["Simulation", "run_experiment"]
 class Simulation(EngineMixin):
     """A fully-seeded FL run; the round's client work runs on ``backend``."""
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(self, config: ExperimentConfig, obs: Obs | None = None):
         self.config = config
+        # Observability is deliberately NOT part of ExperimentConfig — it
+        # never affects the experiment, so it must not perturb spec hashes.
+        self.obs = obs if obs is not None else NULL_OBS
         rngs = RngFactory(config.seed)
 
         # Data: shared templates for train/test, then a client partition —
@@ -107,6 +112,7 @@ class Simulation(EngineMixin):
             flatten_inputs=flatten,
             cache_size=cache,
         )
+        self.clients.observe(self.obs)
 
         # Network links (paper Sec. 5.2): a lazy LinkSpec view over the
         # population columns, optionally drifting per round (drift state is
@@ -263,6 +269,8 @@ class Simulation(EngineMixin):
         the single pricing computation every protocol path shares."""
         cfg = self.config
         payload = self._payload_for(update, ratio)
+        if self.obs.enabled:
+            self.obs.metrics.counter("wire_bits", kind=payload.kind).inc(payload.bits)
         down, train_t, up = pipeline_times(
             self.devices[cid],
             volume_bits=self.volume_bits,
@@ -329,7 +337,8 @@ class Simulation(EngineMixin):
                 (payload, self.links[cid], (t + down) + train_t)
                 for cid, payload, down, train_t, _ in staged
             ]
-            ends = [rec.end for rec in self.transport.resolve_uploads(flows)]
+            with self.obs.tracer.span("transport.resolve", cat="net", flows=len(flows)):
+                ends = [rec.end for rec in self.transport.resolve_uploads(flows)]
 
         durations: list[float] = []
         up_bits: list[float] = []
@@ -360,7 +369,11 @@ class Simulation(EngineMixin):
     def run_round(self) -> RoundRecord:
         """Advance one communication round and return its record."""
         cfg = self.config
-        selected = self.sampler.sample()
+        tracer = self.obs.tracer
+        round_cm = tracer.span("round", cat="sim", round=self.round_index)
+        round_cm.__enter__()
+        with tracer.span("sample", cat="sim"):
+            selected = self.sampler.sample()
         if self._varying is not None:
             self.links = [tv.step() for tv in self._varying]
         sel_links = [self.links[i] for i in selected]
@@ -371,7 +384,8 @@ class Simulation(EngineMixin):
         sizes = self.population.sizes_of(selected)
         freqs = sizes / sizes.sum()
 
-        plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)
+        with tracer.span("plan", cat="sim"):
+            plan = self.algorithm.plan(sel_links, freqs, self.volume_bits)
 
         # Local training + compression (lines 11–12): one task per selected
         # client, dispatched to the configured execution backend.
@@ -383,7 +397,7 @@ class Simulation(EngineMixin):
             )
             for pos, cid in enumerate(selected)
         ]
-        results = self.backend.run_round(
+        results = self._run_tasks(
             tasks, self.global_params, self.global_states, self._train_spec
         )
         train_seconds = sum(r.train_seconds for r in results)
@@ -393,10 +407,15 @@ class Simulation(EngineMixin):
 
         # OPWA mask (line 17), aggregation (lines 14/16/18), and FedAvg of
         # the persistent buffers (BN running stats).
-        singleton = self._aggregate_updates(updates, plan.weights, plan.use_opwa)
-        self._average_states(freqs, [r.state_arrays for r in results])
+        with tracer.span("aggregate", cat="sim"):
+            singleton = self._aggregate_updates(updates, plan.weights, plan.use_opwa)
+            self._average_states(freqs, [r.state_arrays for r in results])
 
-        test_acc = self.evaluate() if self._should_evaluate() else None
+        if self._should_evaluate():
+            with tracer.span("evaluate", cat="sim"):
+                test_acc = self.evaluate()
+        else:
+            test_acc = None
 
         realized = (
             tuple(float(u.density) for u in updates if isinstance(u, SparseUpdate))
@@ -412,9 +431,10 @@ class Simulation(EngineMixin):
         # the transport from the actually-emitted payloads; with fair
         # contention the round is one shared-ingress epoch.
         sim_start = self.sim_clock
-        durations, up_bits, down_bits = self._price_round(
-            selected, plan.ratios, updates, sim_start, tag=self.round_index
-        )
+        with tracer.span("transport.price", cat="net", dispatches=len(selected)):
+            durations, up_bits, down_bits = self._price_round(
+                selected, plan.ratios, updates, sim_start, tag=self.round_index
+            )
         round_span = 0.0
         for pos in range(len(selected)):
             if plan.weights[pos] > 0:
@@ -443,7 +463,20 @@ class Simulation(EngineMixin):
         )
         self.history.append(record)
         self.round_index += 1
+        round_cm.__exit__(None, None, None)
+        if self.obs.enabled:
+            self._observe_round_end(round_cm)
         return record
+
+    def _observe_round_end(self, round_cm=None) -> None:
+        """Per-round metrics bookkeeping shared by every protocol loop."""
+        metrics = self.obs.metrics
+        metrics.counter("rounds_completed").inc()
+        if round_cm is not None and getattr(round_cm, "_t0", None) is not None:
+            wall = trace_clock() - round_cm._t0
+            if wall > 0:
+                metrics.gauge("rounds_per_second").set(1.0 / wall)
+        metrics.snapshot(self.round_index - 1)
 
     def run(self, rounds: int | None = None) -> History:
         """Run ``rounds`` (default: the configured count) and return history."""
@@ -472,12 +505,12 @@ class Simulation(EngineMixin):
         return correct / n
 
 
-def run_experiment(config: ExperimentConfig) -> History:
+def run_experiment(config: ExperimentConfig, obs: Obs | None = None) -> History:
     """Convenience: build and run a full simulation, releasing its workers.
 
     Honors ``config.mode`` — event-driven protocols run when it says so.
     """
     from repro.simtime import make_simulation
 
-    with make_simulation(config) as sim:
+    with make_simulation(config, obs=obs) as sim:
         return sim.run()

@@ -49,8 +49,8 @@ _EPS = 1e-9
 class HierSimulation(Simulation):
     """Two-tier federated rounds: per-edge sub-rounds + cloud averaging."""
 
-    def __init__(self, config: ExperimentConfig):
-        super().__init__(config)
+    def __init__(self, config: ExperimentConfig, obs=None):
+        super().__init__(config, obs=obs)
         rngs = RngFactory(config.seed)
         self.topology: TierTopology = build_tier_topology(config, self.links, rngs)
         # One server optimizer per edge (identical hyperparameters); its
@@ -104,7 +104,7 @@ class HierSimulation(Simulation):
             )
             for pos, cid in enumerate(selected)
         ]
-        results = self.backend.run_round(
+        results = self._run_tasks(
             tasks, self._edge_params[edge], self._edge_states[edge], self._train_spec
         )
         updates: list[CompressedUpdate] = [r.update for r in results]
@@ -196,6 +196,13 @@ class HierSimulation(Simulation):
 
     def run_round(self) -> RoundRecord:
         """One cloud round: K₁ sub-rounds per edge, then cloud averaging."""
+        with self.obs.tracer.span("round", cat="sim", round=self.round_index):
+            record = self._cloud_round()
+        if self.obs.enabled:
+            self._observe_round_end()
+        return record
+
+    def _cloud_round(self) -> RoundRecord:
         cfg = self.config
         E = self.topology.num_edges
         if self._varying is not None:
@@ -241,7 +248,10 @@ class HierSimulation(Simulation):
         # but the (sub-round, edge) iteration fixes the sampling sequence.
         for _k in range(cfg.edge_rounds):
             for e in range(E):
-                span, times, frag = self._edge_sub_round(e, sim_start + elapsed[e])
+                with self.obs.tracer.span(
+                    "hier.subround", cat="hier", edge=e, sub_round=_k
+                ):
+                    span, times, frag = self._edge_sub_round(e, sim_start + elapsed[e])
                 elapsed[e] += span
                 sub_spans[e].append(span)
                 actual_sum[e] += times.actual
@@ -274,10 +284,11 @@ class HierSimulation(Simulation):
                 for e in range(E)
                 if self.topology.backhaul_links[e] is not None
             ]
-            recs = self.transport.resolve_uploads(
-                [(dense_model, link, sim_start + elapsed[e]) for e, link in billed],
-                direction="backhaul",
-            )
+            with self.obs.tracer.span("hier.backhaul", cat="hier", edges=len(billed)):
+                recs = self.transport.resolve_uploads(
+                    [(dense_model, link, sim_start + elapsed[e]) for e, link in billed],
+                    direction="backhaul",
+                )
             backhaul_up = [0.0] * E
             for (e, _), rec in zip(billed, recs):
                 backhaul_up[e] = rec.seconds
@@ -302,7 +313,11 @@ class HierSimulation(Simulation):
                 self.global_states, self.edge_freqs, self._edge_states
             )
 
-        test_acc = self.evaluate() if self._should_evaluate() else None
+        if self._should_evaluate():
+            with self.obs.tracer.span("evaluate", cat="sim"):
+                test_acc = self.evaluate()
+        else:
+            test_acc = None
 
         backhaul_s = [backhaul_up[e] + backhaul_down[e] for e in range(E)]
         times = RoundTimes(

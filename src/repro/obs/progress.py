@@ -1,0 +1,110 @@
+"""Live progress line for sweep runs.
+
+:class:`SweepProgress` plugs into :class:`~repro.scenarios.sweep.SweepRunner`
+via its ``on_start`` / ``progress`` callbacks and repaints one ``\\r`` status
+line: cells done/running/failed, cached-hit count, a rolling mean cell time,
+and an ETA that accounts for the pool width. It writes to any file-like
+stream (stderr by default) and leaves a final newline behind on ``close()``
+so subsequent output starts clean.
+
+The ETA uses wall-clock deltas from ``time.perf_counter`` only — nothing
+here touches the seeded RNG path, matching the :mod:`repro.obs` contract.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["SweepProgress"]
+
+
+class SweepProgress:
+    """Render a one-line live view of a sweep's cell pipeline."""
+
+    def __init__(self, total: int, *, parallel: int = 1, stream=None, clock=time.perf_counter):
+        self.total = int(total)
+        self.parallel = max(1, int(parallel))
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.done = 0
+        self.failed = 0
+        self.cached = 0
+        self.running = 0
+        self._started: dict[int, float] = {}
+        self._cell_seconds: list[float] = []
+        self._t0 = clock()
+        self._last_line = ""
+
+    # ------------------------------------------------------------- callbacks
+
+    def on_start(self, index: int) -> None:
+        """SweepRunner hook: cell ``index`` was dispatched."""
+        self._started[index] = self.clock()
+        self.running += 1
+        self._render()
+
+    def on_result(self, index: int, history: dict | None, *, cached: bool = False) -> None:
+        """SweepRunner hook: cell ``index`` resolved (``None`` = failed)."""
+        t0 = self._started.pop(index, None)
+        if t0 is not None:
+            self.running -= 1
+            self._cell_seconds.append(self.clock() - t0)
+        if cached:
+            self.cached += 1
+        if history is None:
+            self.failed += 1
+        else:
+            self.done += 1
+        self._render()
+
+    # -------------------------------------------------------------- display
+
+    def eta_seconds(self) -> float | None:
+        """Remaining-time estimate, or ``None`` before any cell finishes."""
+        finished = self.done + self.failed
+        remaining = self.total - finished
+        if remaining <= 0:
+            return 0.0
+        if not self._cell_seconds:
+            return None
+        mean = sum(self._cell_seconds) / len(self._cell_seconds)
+        return mean * remaining / self.parallel
+
+    @staticmethod
+    def _fmt_eta(seconds: float | None) -> str:
+        if seconds is None:
+            return "--:--"
+        seconds = max(0, int(seconds))
+        if seconds >= 3600:
+            return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+        return f"{seconds // 60}:{seconds % 60:02d}"
+
+    def line(self) -> str:
+        finished = self.done + self.failed
+        parts = [f"sweep {finished}/{self.total}"]
+        if self.running:
+            parts.append(f"{self.running} running")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self._cell_seconds:
+            mean = sum(self._cell_seconds) / len(self._cell_seconds)
+            parts.append(f"{mean:.1f}s/cell")
+        parts.append(f"eta {self._fmt_eta(self.eta_seconds())}")
+        return " | ".join(parts)
+
+    def _render(self) -> None:
+        line = self.line()
+        pad = max(0, len(self._last_line) - len(line))
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._last_line = line
+
+    def close(self) -> None:
+        """Finish the line: repaint once more and move to a fresh row."""
+        if self._last_line:
+            self._render()
+            self.stream.write("\n")
+            self.stream.flush()

@@ -102,6 +102,13 @@ class ClientPool:
         #: Total Client constructions ever (rehydrations included) — the
         #: materialization observable the no-eager-fleet tests assert on.
         self.hydrations = 0
+        # Always-on cache accounting (plain int bumps — the cost of keeping
+        # these unconditional is noise next to shard reconstruction).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.peak_resident = 0
+        self._obs = None
 
     def __len__(self) -> int:
         return self._population.num_clients
@@ -123,11 +130,19 @@ class ClientPool:
         cid = int(cid)
         if not 0 <= cid < len(self):
             raise IndexError(f"client id {cid} out of range [0, {len(self)})")
+        obs = self._obs
         with self._lock:
             client = self._cache.get(cid)
             if client is not None:
                 self._cache.move_to_end(cid)
+                self.hits += 1
+                if obs is not None:
+                    obs.metrics.counter("hydration", outcome="hit").inc()
                 return client
+            self.misses += 1
+            if obs is not None:
+                hydrate_cm = obs.tracer.span("hydrate", cat="pop", cid=cid)
+                hydrate_cm.__enter__()
             shard = self._train_set.subset(self._population.shard_indices(cid))
             client = _client_cls()(
                 cid,
@@ -139,8 +154,43 @@ class ClientPool:
             self._cache[cid] = client
             self.hydrations += 1
             while len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
+                evicted_cid, _ = self._cache.popitem(last=False)
+                self.evictions += 1
+                if obs is not None:
+                    obs.tracer.instant("evict", cat="pop", cid=evicted_cid)
+                    obs.metrics.counter("hydration", outcome="eviction").inc()
+            # Peak is post-eviction steady state, so it never exceeds the
+            # configured cache size.
+            if len(self._cache) > self.peak_resident:
+                self.peak_resident = len(self._cache)
+            if obs is not None:
+                hydrate_cm.__exit__(None, None, None)
+                obs.metrics.counter("hydration", outcome="miss").inc()
+                obs.metrics.gauge("resident_clients").set(len(self._cache))
             return client
+
+    def observe(self, obs) -> None:
+        """Attach an :class:`repro.obs.Obs` bundle (no-op when disabled).
+
+        Forked process workers inherit the parent's pool copy-on-write; the
+        parent's tracer would silently swallow worker-side appends, so the
+        attachment is per-process state and workers report through
+        :class:`~repro.exec.base.TaskResult` instead.
+        """
+        self._obs = obs if obs is not None and obs.enabled else None
+
+    def stats(self) -> dict:
+        """Cache accounting: hits/misses/evictions/resident/peak."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hydrations": self.hydrations,
+                "resident": len(self._cache),
+                "peak_resident": self.peak_resident,
+                "cache_size": self._cache_size,
+            }
 
     @property
     def resident(self) -> int:

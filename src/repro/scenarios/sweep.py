@@ -70,6 +70,15 @@ class SweepRunner:
         Optional callback ``(spec, cached: bool)`` invoked as each cell
         resolves (from worker threads' completion loop order, not cell
         order).
+    on_start:
+        Optional callback ``(spec)`` invoked when a cell is dispatched
+        (submitted to the pool, or about to run on the serial path) —
+        together with ``progress`` this drives live displays like
+        :class:`repro.obs.SweepProgress`.
+    obs:
+        Optional :class:`repro.obs.Obs` bundle: each cell's dispatch→
+        resolution lifetime is recorded as a ``sweep.cell`` span, with
+        done/cached counters and a cell-seconds histogram.
     """
 
     def __init__(
@@ -80,6 +89,8 @@ class SweepRunner:
         executor: str | None = None,
         store: RunStore | str | None = None,
         progress: Callable[[ScenarioSpec, bool], None] | None = None,
+        on_start: Callable[[ScenarioSpec], None] | None = None,
+        obs=None,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
@@ -102,6 +113,12 @@ class SweepRunner:
             store = RunStore(store)  # accept a plain directory path
         self.store = store
         self.progress = progress
+        self.on_start = on_start
+        if obs is None:
+            from repro.obs import NULL_OBS
+
+            obs = NULL_OBS
+        self.obs = obs
         if self.executor == "process" and self.parallel > 1:
             busy = sorted({s.to_config().backend for s in self.specs} - {"serial"})
             if busy:
@@ -129,22 +146,47 @@ class SweepRunner:
         pickle, store JSON, serial), so a cell's record values have one
         provenance no matter how it executed.
         """
+        obs = self.obs
         cached: dict[int, History] = {}
         pending: list[int] = []
         for i, spec in enumerate(self.specs):
             hist = self.store.load(spec) if self.store is not None else None
             if hist is not None:
                 cached[i] = hist
+                obs.metrics.counter("sweep_cells", outcome="cached").inc()
                 if self.progress is not None:
                     self.progress(spec, True)
             else:
                 pending.append(i)
 
         results: dict[int, History] = dict(cached)
+        # Per-cell dispatch instants: the span runs submission → resolution
+        # (on the parallel path that includes queueing; on the serial path
+        # it is the cell's own wall clock).
+        starts: dict[int, float] = {}
+
+        def dispatch(i: int) -> None:
+            if obs.enabled:
+                from repro.obs.tracer import trace_clock
+
+                starts[i] = trace_clock()
+            if self.on_start is not None:
+                self.on_start(self.specs[i])
 
         def resolve(i: int, history_dict: dict) -> None:
             history = history_from_dict(history_dict)
             results[i] = history
+            if obs.enabled:
+                from repro.obs.tracer import trace_clock
+
+                t0 = starts.pop(i, None)
+                if t0 is not None:
+                    t1 = trace_clock()
+                    obs.tracer.add_span(
+                        "sweep.cell", t0, t1, cat="sweep", cell=self.specs[i].name
+                    )
+                    obs.metrics.histogram("sweep_cell_seconds").observe(t1 - t0)
+                obs.metrics.counter("sweep_cells", outcome="done").inc()
             if self.store is not None:
                 self.store.save(self.specs[i], history)
             if self.progress is not None:
@@ -154,6 +196,7 @@ class SweepRunner:
             pass
         elif self.parallel == 1 or self.executor == "serial" or len(pending) == 1:
             for i in pending:
+                dispatch(i)
                 resolve(i, run_cell(self.specs[i].to_dict()))
         else:
             with self._make_pool() as pool:
@@ -165,6 +208,7 @@ class SweepRunner:
                 while todo or futures:
                     while todo and len(futures) < self.parallel:
                         i = todo.pop(0)
+                        dispatch(i)
                         futures[pool.submit(run_cell, self.specs[i].to_dict())] = i
                     done, _ = wait(futures, return_when=FIRST_COMPLETED)
                     for fut in done:

@@ -61,7 +61,7 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def make_simulation(config):
+def make_simulation(config, obs=None):
     """Build the simulation class selected by ``config.mode``.
 
     ``"sync"`` returns the lock-step :class:`~repro.fl.simulation.Simulation`;
@@ -71,18 +71,21 @@ def make_simulation(config):
     data/model/link construction, record into the same
     :class:`~repro.fl.history.History`, and honor the determinism contract
     (seeded runs bit-identical across execution backends).
+
+    ``obs`` is an optional :class:`repro.obs.Obs` bundle; it only ever
+    observes — histories are bit-identical with or without it.
     """
     from repro.fl.simulation import Simulation
     from repro.simtime.protocols import AsyncSimulation, SemiSyncSimulation
 
     if config.mode == "sync":
-        return Simulation(config)
+        return Simulation(config, obs=obs)
     if config.mode == "semisync":
-        return SemiSyncSimulation(config)
+        return SemiSyncSimulation(config, obs=obs)
     if config.mode == "async":
-        return AsyncSimulation(config)
+        return AsyncSimulation(config, obs=obs)
     if config.mode == "hier":
         from repro.hier.simulation import HierSimulation
 
-        return HierSimulation(config)
+        return HierSimulation(config, obs=obs)
     raise ValueError(f"unknown mode {config.mode!r}")

@@ -77,8 +77,8 @@ class _Pending:
 class _EventDrivenSimulation(Simulation):
     """Shared machinery: dispatch pipeline, staleness weighting, aggregation."""
 
-    def __init__(self, config: ExperimentConfig):
-        super().__init__(config)
+    def __init__(self, config: ExperimentConfig, obs=None):
+        super().__init__(config, obs=obs)
         # The server's ingress: upload completions come back from this pipe
         # in deterministic (finish, admission) order — exclusive links
         # reproduce the historical event-queue arrival order bit-for-bit,
@@ -94,7 +94,7 @@ class _EventDrivenSimulation(Simulation):
 
     def _train_now(self, tasks: list[ClientTask]) -> list[TaskResult]:
         """Run client tasks through the execution backend as one batch."""
-        return self.backend.run_round(
+        return self._run_tasks(
             tasks, self.global_params, self.global_states, self._train_spec
         )
 
@@ -139,6 +139,8 @@ class _EventDrivenSimulation(Simulation):
             )
         self._flights[pend.fid] = pend
         self._window_down.append(cid)
+        if self.obs.enabled:
+            self.obs.metrics.gauge("ingress_depth").set(len(self._pipe))
         return pend
 
     def _resolve_arrival(self, t_fin: float, fid: int) -> _Pending:
@@ -246,13 +248,14 @@ class _EventDrivenSimulation(Simulation):
         """
         updates = [p.result.update for p in contributions]
         self.last_round_updates = updates
-        singleton = self._aggregate_updates(
-            updates, weights, getattr(self.algorithm, "use_opwa", False)
-        )
-        self._average_states(
-            self._contribution_freqs(contributions),
-            [p.result.state_arrays for p in contributions],
-        )
+        with self.obs.tracer.span("aggregate", cat="sim", contributions=len(contributions)):
+            singleton = self._aggregate_updates(
+                updates, weights, getattr(self.algorithm, "use_opwa", False)
+            )
+            self._average_states(
+                self._contribution_freqs(contributions),
+                [p.result.state_arrays for p in contributions],
+            )
         self.version += 1
         return singleton, updates
 
@@ -271,11 +274,16 @@ class _EventDrivenSimulation(Simulation):
         """Build/append the aggregation's record (evaluation on cadence)."""
         lags = [self.version - 1 - p.version for p in contributions]
         comm = self._window_comm(contributions)
+        if self._should_evaluate():
+            with self.obs.tracer.span("evaluate", cat="sim"):
+                test_acc = self.evaluate()
+        else:
+            test_acc = None
         record = RoundRecord(
             round_index=self.round_index,
             selected=selected,
             train_loss=float(np.mean([p.result.mean_loss for p in contributions])),
-            test_accuracy=self.evaluate() if self._should_evaluate() else None,
+            test_accuracy=test_acc,
             times=times,
             ratios=tuple(
                 float(u.density) if isinstance(u, SparseUpdate) else 1.0 for u in updates
@@ -292,6 +300,8 @@ class _EventDrivenSimulation(Simulation):
         self.history.append(record)
         self.round_index += 1
         self.sim_clock = sim_end
+        if self.obs.enabled:
+            self._observe_round_end()
         return record
 
     def _uniform_ratio(self) -> float | None:
@@ -322,8 +332,8 @@ class AsyncSimulation(_EventDrivenSimulation):
     paper's Fig. 10 time-to-accuracy curves motivate.
     """
 
-    def __init__(self, config: ExperimentConfig):
-        super().__init__(config)
+    def __init__(self, config: ExperimentConfig, obs=None):
+        super().__init__(config, obs=obs)
         if config.time_varying_links:
             # Link drift is a per-round process; async has no rounds to pin
             # it to. Refuse rather than silently freeze the links.
@@ -373,6 +383,10 @@ class AsyncSimulation(_EventDrivenSimulation):
 
     def run_round(self) -> RoundRecord:
         """Advance virtual time until K arrivals, then aggregate them."""
+        with self.obs.tracer.span("round", cat="sim", round=self.round_index):
+            return self._advance_window()
+
+    def _advance_window(self) -> RoundRecord:
         if not self._primed:
             self._prime()
         K = self.config.async_buffer_size
@@ -423,8 +437,8 @@ class SemiSyncSimulation(_EventDrivenSimulation):
     so progress is guaranteed.
     """
 
-    def __init__(self, config: ExperimentConfig):
-        super().__init__(config)
+    def __init__(self, config: ExperimentConfig, obs=None):
+        super().__init__(config, obs=obs)
         self._rng = RngFactory(config.seed).stream("semisync-sampler")
         self._busy: set[int] = set()  # carryover clients still uploading
 
@@ -437,6 +451,10 @@ class SemiSyncSimulation(_EventDrivenSimulation):
         return sorted(int(idle[i]) for i in chosen)
 
     def run_round(self) -> RoundRecord:
+        with self.obs.tracer.span("round", cat="sim", round=self.round_index):
+            return self._advance_round()
+
+    def _advance_round(self) -> RoundRecord:
         cfg = self.config
         t0 = self.now
         selected = self._select()

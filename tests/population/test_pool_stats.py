@@ -1,0 +1,88 @@
+"""ClientPool cache accounting: hits/misses/evictions/peak residency."""
+
+from __future__ import annotations
+
+from repro.data.datasets import DATASET_SPECS, train_test_split
+from repro.fl.config import ExperimentConfig
+from repro.obs import MetricsRegistry, Obs, Tracer
+from repro.population import ClientPool, Population
+
+
+def build_pool(cache_size: int = 4) -> ClientPool:
+    cfg = ExperimentConfig(
+        dataset="synth-cifar10",
+        model="mlp",
+        num_train=256,
+        num_test=64,
+        num_clients=50,
+        participation=0.1,
+        virtual_shards=True,
+        virtual_shard_min=4,
+        virtual_shard_max=8,
+        batch_size=8,
+        seed=7,
+    )
+    spec = DATASET_SPECS[cfg.dataset]
+    train_set, _ = train_test_split(spec, cfg.num_train, cfg.num_test, seed=cfg.seed)
+    pop = Population.from_config(cfg, partition=None)
+    return ClientPool(
+        pop, train_set, cfg.batch_size, flatten_inputs=True, cache_size=cache_size
+    )
+
+
+class TestStats:
+    def test_fresh_pool_reports_zeros(self):
+        stats = build_pool().stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "hydrations": 0,
+            "resident": 0,
+            "peak_resident": 0,
+            "cache_size": 4,
+        }
+
+    def test_hits_misses_and_evictions(self):
+        pool = build_pool(cache_size=2)
+        pool[0]  # miss
+        pool[0]  # hit
+        pool[1]  # miss
+        pool[2]  # miss -> evicts cid 0
+        pool[0]  # miss again (was evicted) -> evicts cid 1
+        stats = pool.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 4
+        assert stats["hydrations"] == 4
+        assert stats["evictions"] == 2
+        assert stats["resident"] == 2
+        assert stats["peak_resident"] == 2
+
+    def test_peak_tracks_high_water_mark_not_current(self):
+        pool = build_pool(cache_size=8)
+        for cid in range(5):
+            pool[cid]
+        assert pool.stats()["peak_resident"] == 5
+        assert pool.stats()["resident"] == 5
+
+    def test_observed_pool_mirrors_stats_into_metrics(self):
+        obs = Obs(Tracer(), MetricsRegistry())
+        pool = build_pool(cache_size=2)
+        pool.observe(obs)
+        pool[0], pool[0], pool[1], pool[2]
+        assert obs.metrics.value("hydration", outcome="hit") == 1
+        assert obs.metrics.value("hydration", outcome="miss") == 3
+        assert obs.metrics.value("hydration", outcome="eviction") == 1
+        assert obs.metrics.value("resident_clients") == 2
+        hydrate_spans = [s for s in obs.tracer.spans if s.name == "hydrate"]
+        assert len(hydrate_spans) == 3
+        assert any(i.name == "evict" for i in obs.tracer.instants)
+
+    def test_observe_with_null_obs_stays_detached(self):
+        pool = build_pool()
+        pool.observe(None)
+        assert pool._obs is None
+        pool.observe(Obs())  # disabled bundle
+        assert pool._obs is None
+        pool[0]
+        assert pool.stats()["misses"] == 1  # plain accounting still on
