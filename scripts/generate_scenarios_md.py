@@ -38,6 +38,10 @@ PYTHONPATH=src python -m repro sweep --scenario <name> \\
     --grid compression_ratio=0.01,0.1 --seeds 2 --parallel 4 --store runs/
 ```
 
+Render any run or sweep as a self-contained HTML report — add
+`--html report.html` to `scenario run` / `sweep`, or rebuild one post-hoc
+from the store: `python -m repro report --store runs/ --out report.html`.
+
 > **Generated file — do not edit.** Regenerate with
 > `python scripts/generate_scenarios_md.py docs/SCENARIOS.md`
 > (CI checks for drift).

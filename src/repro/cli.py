@@ -14,18 +14,24 @@
     python -m repro sweep --grid gamma=3,5,7 --grid alpha=0.1,0.3 --seeds 2 --parallel 4
     python -m repro scenario list
     python -m repro scenario run straggler-storm
+    python -m repro report --store runs/ --trace trace.json --out report.html
     python -m repro info
 
 ``run``/``compare``/``sweep`` accept ``--save-history out.json`` and
 ``--export-csv out.csv`` for downstream plotting. ``sweep --store DIR``
 persists one JSON per grid cell and resumes interrupted sweeps (completed
-cells are skipped on rerun).
+cells are skipped on rerun). ``--html PATH`` on ``run``/``comm``/``sweep``/
+``scenario run`` renders a self-contained HTML report of the run's
+artifacts; the ``report`` verb rebuilds one post-hoc from stored files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
+from pathlib import Path
 
 from repro import __version__
 from repro.compression.registry import available_compressors
@@ -44,13 +50,15 @@ from repro.experiments.runner import (
     run_modes,
 )
 from repro.fl.config import ALGORITHMS, BACKENDS, MODES
-from repro.io.history_io import export_curves_csv, save_history
+from repro.io.history_io import export_curves_csv, load_history, save_history
 from repro.obs import SweepProgress, format_profile, load_trace, make_obs
+from repro.report import write_report
 from repro.scenarios import (
     REGISTRY,
     RunStore,
     ScenarioSpec,
     SWEEP_EXECUTORS,
+    SweepReport,
     SweepRunner,
     coerce_field,
     expand_grid,
@@ -155,6 +163,78 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         help="write a metrics-registry JSON plus a sibling .prom "
              "(Prometheus text) snapshot",
     )
+    p.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="render a self-contained HTML report (inline SVG/CSS, no "
+             "external URLs) of this run's artifacts; sections for the "
+             "trace and metrics appear when those flags are also set",
+    )
+
+
+def _git_describe() -> str | None:
+    """``git describe`` of the source tree, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _run_manifest(cfg, *, spec: ScenarioSpec | None = None) -> dict:
+    """Provenance header for a single-run report page."""
+    manifest: dict[str, str] = {}
+    if spec is not None:
+        manifest["scenario"] = spec.name
+        manifest["spec hash"] = spec.spec_hash()
+    manifest.update({
+        "dataset": cfg.dataset,
+        "algorithm": cfg.algorithm,
+        "mode": cfg.mode,
+        "backend": cfg.backend,
+        "rounds": str(cfg.rounds),
+        "clients": str(cfg.num_clients),
+        "seed": str(cfg.seed),
+        "version": __version__,
+    })
+    describe = _git_describe()
+    if describe:
+        manifest["git"] = describe
+    return manifest
+
+
+def _write_html(
+    args: argparse.Namespace,
+    *,
+    history=None,
+    sweep=None,
+    obs=None,
+    manifest: dict | None = None,
+    title: str,
+    target_acc: float | None = None,
+) -> None:
+    """Render the ``--html`` page for a run that just finished (if asked)."""
+    if getattr(args, "html", None) is None:
+        return
+    trace = metrics = None
+    if obs is not None and obs.tracer.enabled and obs.tracer.spans:
+        trace = list(obs.tracer.spans)
+    if obs is not None and getattr(obs.metrics, "enabled", False):
+        metrics = obs.metrics
+    write_report(
+        args.html,
+        history=history,
+        sweep=sweep,
+        trace=trace,
+        metrics=metrics,
+        manifest=manifest,
+        title=title,
+        target_acc=target_acc,
+    )
+    print(f"wrote {args.html}")
 
 
 def _finish_obs(obs, sim=None) -> None:
@@ -324,6 +404,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_comm)
     _add_obs_flags(p_comm)
 
+    p_rep = sub.add_parser(
+        "report",
+        help="render a self-contained HTML report from stored artifacts",
+    )
+    p_rep.add_argument(
+        "--out", required=True, metavar="PATH", help="where to write the page"
+    )
+    p_rep.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="a saved history JSON (from --save-history)",
+    )
+    p_rep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="a sweep run store (from sweep --store); renders the sweep "
+             "section over every completed cell",
+    )
+    p_rep.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="an exported trace: Chrome JSON or .jsonl stream",
+    )
+    p_rep.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="an exported metrics-registry JSON",
+    )
+    p_rep.add_argument(
+        "--target-acc", type=float, default=None,
+        help="add the virtual time-to-target frontier to the sweep section",
+    )
+    p_rep.add_argument(
+        "--title", default="Experiment report", help="page title"
+    )
+
     p_prof = sub.add_parser(
         "profile", help="rank the top hot spots from an exported trace"
     )
@@ -354,6 +466,9 @@ def main(argv: list[str] | None = None) -> int:
         print(format_profile(spans, top=args.top))
         return 0
 
+    if args.command == "report":
+        return _cmd_report(args)
+
     if args.command == "run":
         cfg = _config(args, args.algorithm)
         obs = make_obs(args.trace, args.metrics)
@@ -369,6 +484,10 @@ def main(argv: list[str] | None = None) -> int:
             save_history(history, args.save_history)
         if args.export_csv:
             export_curves_csv(history, args.export_csv)
+        _write_html(
+            args, history=history, obs=obs, manifest=_run_manifest(cfg),
+            title=f"run: {args.algorithm} on {cfg.dataset}",
+        )
         return 0
 
     if args.command == "compare":
@@ -431,6 +550,10 @@ def main(argv: list[str] | None = None) -> int:
             save_history(history, args.save_history)
         if args.export_csv:
             export_curves_csv(history, args.export_csv)
+        _write_html(
+            args, history=history, obs=obs, manifest=_run_manifest(cfg),
+            title=f"comm: {args.algorithm} on {cfg.dataset}",
+        )
         return 0
 
     if args.command == "sweep":
@@ -543,6 +666,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.export_csv:
         for spec, h in report.cells:
             export_curves_csv(h, f"{args.export_csv}.{spec.spec_hash()}.csv")
+    manifest = {
+        "base": base.name,
+        "base hash": base.spec_hash(),
+        "axes": ", ".join(f"{k}={len(v)}" for k, v in axes.items()),
+        "cells": str(len(cells)),
+        "version": __version__,
+    }
+    describe = _git_describe()
+    if describe:
+        manifest["git"] = describe
+    _write_html(
+        args, sweep=report, obs=obs, manifest=manifest,
+        title=f"sweep: {base.name}", target_acc=args.target_acc,
+    )
     return 0
 
 
@@ -602,6 +739,54 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         save_history(history, args.save_history)
     if args.export_csv:
         export_curves_csv(history, args.export_csv)
+    _write_html(
+        args, history=history, obs=obs, manifest=_run_manifest(cfg, spec=spec),
+        title=f"scenario: {spec.name}",
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """``report``: rebuild an HTML page post-hoc from stored artifacts."""
+    sources = [s for s in (args.history, args.store, args.trace, args.metrics) if s]
+    if not sources:
+        print(
+            "report needs at least one artifact: "
+            "--history / --store / --trace / --metrics",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        history = load_history(args.history) if args.history else None
+        sweep = None
+        if args.store:
+            cells = RunStore(args.store).load_all()
+            if not cells:
+                raise ValueError(f"no completed cells in store {args.store!r}")
+            sweep = SweepReport(cells=cells, executed=0, reused=len(cells))
+        trace = load_trace(args.trace) if args.trace else None
+        metrics = None
+        if args.metrics:
+            with open(args.metrics) as fh:
+                metrics = json.load(fh)
+    except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+        print(f"cannot load artifacts: {_errmsg(exc)}", file=sys.stderr)
+        return 2
+    manifest = {"sources": ", ".join(sources), "version": __version__}
+    describe = _git_describe()
+    if describe:
+        manifest["git"] = describe
+    write_report(
+        args.out,
+        history=history,
+        sweep=sweep,
+        trace=trace,
+        metrics=metrics,
+        manifest=manifest,
+        title=args.title,
+        target_acc=args.target_acc,
+    )
+    print(f"wrote {args.out}")
     return 0
 
 

@@ -1,0 +1,135 @@
+"""Page assembly: one self-contained HTML document per experiment.
+
+:func:`render_report` takes whichever artifacts exist — a ``History``, a
+``SweepReport``, a span list, a ``MetricsRegistry`` document — renders one
+``<section>`` each (:mod:`repro.report.sections`) and wraps them in a
+single document with inline CSS and inline SVG only: zero external URLs,
+no scripts, no fonts, no timestamps. The output is byte-deterministic for
+fixed inputs; anything environmental (git describe, seed, backend) enters
+only through the caller-supplied ``manifest`` dict.
+"""
+
+from __future__ import annotations
+
+from repro.report.sections import (
+    history_section,
+    manifest_section,
+    metrics_section,
+    sweep_section,
+    trace_section,
+)
+from repro.report.svg import PALETTE_DARK, PALETTE_LIGHT, esc
+
+__all__ = ["PAGE_CSS", "render_report", "write_report"]
+
+
+def _palette_vars(palette) -> str:
+    return ";".join(f"--c{i}:{hexcol}" for i, hexcol in enumerate(palette))
+
+
+#: Inline stylesheet: light tokens at :root, dark values re-stepped (not
+#: auto-flipped) under ``prefers-color-scheme: dark``. Defines every class
+#: the SVG kit emits plus the page chrome.
+PAGE_CSS = (
+    ":root{"
+    + _palette_vars(PALETTE_LIGHT)
+    + ";--surface:#ffffff;--panel:#f6f7f9;--ink:#1a1a1a;--muted:#667085;"
+    "--hairline:#e4e7ec;--lane:#eef1f5}"
+    "@media (prefers-color-scheme: dark){:root{"
+    + _palette_vars(PALETTE_DARK)
+    + ";--surface:#121417;--panel:#1b1f24;--ink:#e6e8ea;--muted:#98a2b3;"
+    "--hairline:#2b3138;--lane:#20262d}}"
+    "html{background:var(--surface)}"
+    "body{margin:0 auto;max-width:860px;padding:24px 20px 60px;"
+    "font:14px/1.5 system-ui,sans-serif;color:var(--ink);"
+    "background:var(--surface)}"
+    "h1{font-size:21px;margin:0 0 4px}"
+    "h2{font-size:17px;margin:28px 0 10px;padding-top:14px;"
+    "border-top:1px solid var(--hairline)}"
+    "h3{font-size:14px;margin:18px 0 6px}"
+    ".manifest{display:flex;flex-wrap:wrap;gap:6px 22px;margin:10px 0 4px;"
+    "padding:10px 14px;background:var(--panel);border-radius:8px}"
+    ".kv-k{color:var(--muted);margin-right:6px}"
+    ".kv-v{font-family:ui-monospace,monospace}"
+    ".tiles{display:flex;flex-wrap:wrap;gap:10px;margin:8px 0 14px}"
+    ".tile{background:var(--panel);border-radius:8px;padding:8px 14px;min-width:96px}"
+    ".tile-label{font-size:11px;color:var(--muted)}"
+    ".tile-value{font-size:18px;font-variant-numeric:tabular-nums}"
+    "figure{margin:14px 0}"
+    "figcaption{font-size:12px;color:var(--muted);margin-bottom:4px}"
+    ".legend{display:flex;flex-wrap:wrap;gap:4px 16px;font-size:12px;margin:2px 0 6px}"
+    ".key{display:inline-flex;align-items:center;gap:6px}"
+    ".swatch{width:10px;height:10px;border-radius:3px;display:inline-block}"
+    ".multiples{display:flex;flex-wrap:wrap;gap:8px 24px}"
+    "table{border-collapse:collapse;margin:8px 0 14px;font-size:13px;"
+    "font-variant-numeric:tabular-nums}"
+    "th{text-align:left;color:var(--muted);font-weight:600}"
+    "th,td{padding:4px 14px 4px 0;border-bottom:1px solid var(--hairline)}"
+    ".muted{color:var(--muted)}"
+    "svg{max-width:100%;height:auto}"
+    "svg text{font:11px system-ui,sans-serif;fill:var(--muted)}"
+    ".grid{stroke:var(--hairline);stroke-width:1}"
+    ".axis{stroke:var(--muted);stroke-width:1}"
+    ".axis-label{fill:var(--ink)}"
+    ".line{fill:none;stroke-width:2;stroke-linejoin:round;stroke-linecap:round}"
+    ".dot{stroke:var(--surface);stroke-width:2}"
+    ".hit{fill:transparent}"
+    ".bar{stroke:none}"
+    ".lane{fill:var(--lane)}"
+    ".spark-line{fill:none;stroke:var(--c0);stroke-width:1.5;opacity:.75}"
+    "footer{margin-top:32px;padding-top:10px;border-top:1px solid var(--hairline);"
+    "font-size:12px;color:var(--muted)}"
+)
+
+
+def render_report(
+    *,
+    history=None,
+    sweep=None,
+    trace=None,
+    metrics=None,
+    manifest: dict | None = None,
+    title: str = "Experiment report",
+    target_acc: float | None = None,
+) -> str:
+    """Render whichever artifacts exist into one self-contained page.
+
+    At least one of ``history`` / ``sweep`` / ``trace`` / ``metrics`` must
+    be given. ``manifest`` is caller-supplied key → value run provenance
+    (spec hash, seed, backend, mode, git describe) shown under the title;
+    ``target_acc`` adds the time-to-accuracy frontier to the sweep section.
+    Returns the full HTML document as a string.
+    """
+    if history is None and sweep is None and trace is None and metrics is None:
+        raise ValueError("render_report needs at least one artifact")
+    body = [f"<h1>{esc(title)}</h1>"]
+    if manifest:
+        body.append(manifest_section(manifest))
+    if history is not None:
+        body.append(history_section(history))
+    if sweep is not None:
+        body.append(sweep_section(sweep, target=target_acc))
+    if trace is not None:
+        body.append(trace_section(trace))
+    if metrics is not None:
+        body.append(metrics_section(metrics))
+    body.append(
+        "<footer>Self-contained report (inline SVG + CSS, no external "
+        "resources). Charts adapt to light/dark via "
+        "<code>prefers-color-scheme</code>; hover marks for values.</footer>"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        f"<title>{esc(title)}</title>"
+        f"<style>{PAGE_CSS}</style></head><body>"
+        + "".join(body)
+        + "</body></html>\n"
+    )
+
+
+def write_report(path, **kwargs) -> None:
+    """Render and write the page (see :func:`render_report`)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_report(**kwargs))

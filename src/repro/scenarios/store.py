@@ -73,6 +73,33 @@ class RunStore:
         data = self._read(spec)
         return None if data is None else history_from_dict(data["history"])
 
+    def load_all(self) -> list[tuple[ScenarioSpec, History]]:
+        """Every finished cell in the store, deterministically ordered.
+
+        Sorted by (spec name, spec hash) — not directory order — so
+        post-hoc consumers (``repro report --store``) render identically
+        regardless of filesystem enumeration. Torn or foreign files are
+        skipped, matching :meth:`completed_hashes`.
+        """
+        out: list[tuple[ScenarioSpec, History]] = []
+        if not self.root.is_dir():
+            return out
+        for path in self.root.glob("*.json"):
+            try:
+                data = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                continue
+            if not isinstance(data, dict) or not data.get("completed"):
+                continue
+            try:
+                spec = ScenarioSpec.from_dict(data["spec"])
+                history = history_from_dict(data["history"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            out.append((spec, history))
+        out.sort(key=lambda cell: (cell[0].name, cell[0].spec_hash()))
+        return out
+
     def completed_hashes(self) -> set[str]:
         """Spec hashes of every finished cell in the store."""
         out: set[str] = set()

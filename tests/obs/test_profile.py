@@ -66,3 +66,28 @@ class TestUtilization:
         assert "round" in text and "train" in text
         assert "lane" in text
         assert format_profile([]) == "trace contains no wall-clock spans"
+
+
+class TestZeroDurationEdges:
+    """Degenerate traces must yield well-defined values, not ZeroDivision."""
+
+    def test_utilization_of_empty_trace_is_empty(self):
+        assert lane_utilization([]) == {}
+
+    def test_single_instant_span_is_zero_utilization(self):
+        util = lane_utilization([span("tick", 1.0, 1.0)])
+        assert util == {0: 0.0}
+
+    def test_zero_extent_multi_lane_trace(self):
+        spans = [span("a", 2.0, 2.0, tid=1), span("b", 2.0, 2.0, tid=2)]
+        assert lane_utilization(spans) == {1: 0.0, 2: 0.0}
+
+    def test_format_profile_on_single_instant_span(self):
+        text = format_profile([span("tick", 1.0, 1.0)])
+        assert "tick" in text
+        assert "0.0%" in text  # share of a zero extent is defined as zero
+
+    def test_profile_spans_on_zero_durations(self):
+        (hot,) = profile_spans([span("tick", 1.0, 1.0)] * 3)
+        assert hot.count == 3
+        assert hot.total_s == hot.self_s == hot.mean_s == hot.max_s == 0.0

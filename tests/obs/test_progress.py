@@ -83,3 +83,32 @@ class TestRendering:
         prog, _, _ = make()
         assert prog._fmt_eta(75.0) == "1:15"
         assert prog._fmt_eta(3725.0) == "1:02:05"
+
+
+class TestAllCachedSweep:
+    """A fully-resumed sweep has zero live completions to average over."""
+
+    def test_eta_is_zero_when_everything_was_cached(self):
+        prog, _, _ = make(total=3)
+        for name in ("a", "b", "c"):
+            prog.on_result(name, {"ok": True}, cached=True)
+        assert prog.eta_seconds() == 0.0
+
+    def test_line_reports_cached_cells_without_rate(self):
+        prog, _, stream = make(total=3)
+        for name in ("a", "b", "c"):
+            prog.on_result(name, {"ok": True}, cached=True)
+        line = prog.line()
+        assert "sweep 3/3" in line
+        assert "3 cached" in line
+        prog.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_eta_unknown_while_only_cached_cells_landed(self):
+        prog, clock, _ = make(total=4)
+        prog.on_result("a", {"ok": True}, cached=True)
+        assert prog.eta_seconds() is None  # no timed completion yet
+        prog.on_start("b")
+        clock.now = 5.0
+        prog.on_result("b", {"ok": True})
+        assert prog.eta_seconds() is not None

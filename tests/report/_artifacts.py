@@ -1,0 +1,108 @@
+"""Deterministic synthetic artifacts for the report renderer tests.
+
+Everything here is built from fixed literals — no RNG, no clocks — so the
+golden test can pin whole pages byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.history import History, RoundComm, RoundRecord
+from repro.network.metrics import RoundTimes
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span
+from repro.scenarios import SweepReport, expand_grid
+
+
+def make_history(
+    accs,
+    *,
+    staleness: bool = False,
+    comm: bool = True,
+    evaluate: bool = True,
+) -> History:
+    """A history with the given accuracy curve and fixed everything else."""
+    h = History()
+    for i, acc in enumerate(accs):
+        h.append(
+            RoundRecord(
+                round_index=i,
+                selected=(0, 1),
+                train_loss=2.0 / (i + 1),
+                test_accuracy=(acc if evaluate else None),
+                times=RoundTimes(actual=1.0, maximum=1.5, minimum=0.5),
+                ratios=(0.2, 0.2),
+                weights=(0.5, 0.5),
+                singleton_fraction=None,
+                train_seconds=0.0,
+                compress_seconds=0.0,
+                sim_start=float(i) * 2.0,
+                sim_end=float(i) * 2.0 + 2.0,
+                mean_staleness=(0.5 * i if staleness else None),
+                comm=(
+                    RoundComm.from_maps(
+                        uplink={0: 8_000.0 + 800.0 * i, 1: 16_000.0},
+                        downlink={0: 4_000.0, 1: 4_000.0},
+                    )
+                    if comm
+                    else None
+                ),
+            )
+        )
+    return h
+
+
+def tiny_base(**overrides) -> ExperimentConfig:
+    base = dict(
+        dataset="synth-cifar10", num_train=200, num_test=100, num_clients=4,
+        participation=0.5, rounds=2, batch_size=32, algorithm="topk",
+        compression_ratio=0.2, eval_every=1, seed=3,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def make_sweep() -> SweepReport:
+    """A 2×2 grid with hand-written curves (no simulation involved)."""
+    cells = expand_grid(
+        tiny_base(), {"gamma": [3.0, 5.0], "include_downlink": [False, True]}
+    )
+    curves = [(0.2, 0.4), (0.3, 0.5), (0.25, 0.45), (0.1, 0.35)]
+    return SweepReport(
+        cells=[(spec, make_history(accs)) for spec, accs in zip(cells, curves)],
+        executed=3,
+        reused=1,
+    )
+
+
+def make_spans() -> list[Span]:
+    return [
+        Span(name="round", cat="sim", start=0.0, end=1.0, tid=0),
+        Span(name="evaluate", cat="sim", start=1.0, end=1.25, tid=0),
+        Span(name="client_task", cat="exec", start=0.1, end=0.5, tid=101),
+        Span(name="client_task", cat="exec", start=0.5, end=0.9, tid=101),
+        Span(name="transport", cat="net", start=0.2, end=0.3, tid=102),
+    ]
+
+
+def make_metrics() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    rounds = reg.counter("rounds_total")
+    cache = reg.gauge("cache_size")
+    train = reg.histogram("train_seconds", buckets=(0.25, 1.0))
+    for i, (size, obs) in enumerate([(2.0, 0.1), (3.0, 0.6), (3.0, 0.9)]):
+        rounds.inc()
+        cache.set(size)
+        train.observe(obs)
+        reg.snapshot(i)
+    return reg
+
+
+MANIFEST = {
+    "dataset": "synth-cifar10",
+    "algorithm": "topk",
+    "mode": "sync",
+    "backend": "serial",
+    "seed": "3",
+    "git": "v0-test",
+}

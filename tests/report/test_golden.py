@@ -1,0 +1,57 @@
+"""Byte-determinism of the full page, pinned by a committed golden file.
+
+Regenerate after an intentional rendering change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/report/test_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from _artifacts import MANIFEST, make_history, make_metrics, make_spans, make_sweep
+
+from repro.report import render_report
+
+GOLDEN = Path(__file__).parent / "golden_report.html"
+
+
+def render_full_page() -> str:
+    return render_report(
+        history=make_history((0.2, 0.35, 0.5), staleness=True),
+        sweep=make_sweep(),
+        trace=make_spans(),
+        metrics=make_metrics(),
+        manifest=MANIFEST,
+        title="golden fixture",
+        target_acc=0.3,
+    )
+
+
+def test_rendering_is_byte_deterministic():
+    """Fresh artifact objects → byte-identical pages (no ids, no clocks)."""
+    assert render_full_page() == render_full_page()
+
+
+def test_page_is_self_contained():
+    page = render_full_page()
+    assert page.count("<html") == 1 and page.count("</html>") == 1
+    # The only URL anywhere is the SVG XML namespace.
+    assert page.replace("http://www.w3.org/2000/svg", "").count("http") == 0
+    assert "<script" not in page and "@import" not in page
+
+    # One section per artifact supplied, plus the manifest.
+    for anchor in ("manifest", "history", "sweep", "trace", "metrics"):
+        assert f'<section id="{anchor}">' in page
+
+
+def test_matches_committed_golden():
+    page = render_full_page()
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN.write_text(page)
+    assert GOLDEN.is_file(), "golden missing — run with REGEN_GOLDEN=1"
+    assert page == GOLDEN.read_text(), (
+        "rendering drifted from the golden page; if intentional, regenerate "
+        "with REGEN_GOLDEN=1"
+    )

@@ -1,0 +1,121 @@
+"""SweepReport edge cases feeding the renderer: failed/empty/degenerate grids.
+
+The happy-path grid analytics are covered in test_sweep.py; these pin the
+paths a real sweep can produce — cells whose runs recorded nothing, runs
+without evaluations, one-cell sweeps — end to end through ``best_cells``/
+``marginals``/``pareto_frontier`` and the HTML sweep section they feed.
+"""
+
+from __future__ import annotations
+
+from repro.fl.config import ExperimentConfig
+from repro.fl.history import History, RoundRecord
+from repro.network.metrics import RoundTimes
+from repro.report import sweep_section
+from repro.scenarios import ScenarioSpec, SweepReport, expand_grid
+
+
+def record(i: int, acc: float | None) -> RoundRecord:
+    return RoundRecord(
+        round_index=i, selected=(0,), train_loss=1.0, test_accuracy=acc,
+        times=RoundTimes(actual=1.0, maximum=1.0, minimum=1.0),
+        ratios=(0.2,), weights=(1.0,), singleton_fraction=None,
+        train_seconds=0.0, compress_seconds=0.0,
+        sim_start=float(i), sim_end=float(i) + 1.0,
+    )
+
+
+def history(accs) -> History:
+    h = History()
+    for i, acc in enumerate(accs):
+        h.append(record(i, acc))
+    return h
+
+
+def grid(axes: dict) -> list[ScenarioSpec]:
+    cfg = ExperimentConfig(
+        dataset="synth-cifar10", num_train=200, num_test=100, num_clients=4,
+        rounds=2, algorithm="topk", compression_ratio=0.2, seed=3,
+    )
+    return expand_grid(cfg, axes)
+
+
+class TestAllFailedCells:
+    """Every cell's history is empty (e.g. all runs died before round 0)."""
+
+    def report(self) -> SweepReport:
+        specs = grid({"gamma": [3.0, 5.0]})
+        return SweepReport(cells=[(s, History()) for s in specs], executed=2)
+
+    def test_analytics_are_empty_not_errors(self):
+        rep = self.report()
+        assert rep.best_cells() == []
+        assert rep.marginals() == {"gamma": {}}
+        assert rep.pareto_frontier() == []
+        assert rep.time_to_accuracy_frontier(0.5) == [
+            (spec, None) for spec, _ in rep.cells
+        ]
+
+    def test_renderer_degrades_to_message(self):
+        out = sweep_section(self.report(), target=0.5)
+        assert "No evaluated cells" in out
+        assert "never reached" in out
+
+
+class TestMissingAccuracyMode:
+    """Runs that trained but never evaluated (eval_every > rounds)."""
+
+    def report(self) -> SweepReport:
+        specs = grid({"gamma": [3.0, 5.0]})
+        cells = [
+            (specs[0], history([None, None])),  # trained, no evals
+            (specs[1], history([0.2, 0.4])),
+        ]
+        return SweepReport(cells=cells, executed=2)
+
+    def test_unevaluated_cells_drop_out_of_rankings(self):
+        rep = self.report()
+        ranked = rep.best_cells()
+        assert [spec for spec, _, _ in ranked] == [rep.cells[1][0]]
+        assert rep.best_cells(metric="best")[0][2] == 0.4
+
+    def test_marginals_skip_unevaluated_cells(self):
+        marg = self.report().marginals()["gamma"]
+        assert list(marg) == [5.0]
+        assert marg[5.0]["n"] == 1.0
+
+    def test_pareto_frontier_skips_unevaluated_cells(self):
+        frontier = self.report().pareto_frontier()
+        assert len(frontier) == 1
+        assert frontier[0][3] == 0.4
+
+    def test_renderer_keeps_the_evaluated_cell(self):
+        out = sweep_section(self.report())
+        assert "Top cells" in out
+        assert "gamma=5" in out
+
+
+class TestSingleCellSweep:
+    def report(self) -> SweepReport:
+        (spec,) = grid({"gamma": [3.0]})
+        return SweepReport(cells=[(spec, history([0.1, 0.3]))], executed=1)
+
+    def test_one_cell_is_its_own_frontier(self):
+        rep = self.report()
+        assert len(rep.best_cells()) == 1
+        assert len(rep.pareto_frontier()) == 1
+        assert rep.marginals()["gamma"][3.0]["mean_final"] == 0.3
+
+    def test_renderer_handles_single_value_axes(self):
+        out = sweep_section(self.report(), target=0.2)
+        assert "Marginal over gamma" in out
+        assert "heatmap" not in out  # one axis → no grid
+
+
+class TestEmptySweep:
+    def test_zero_cells(self):
+        rep = SweepReport()
+        assert rep.best_cells() == []
+        assert rep.marginals() == {}
+        assert rep.pareto_frontier() == []
+        assert "No evaluated cells" in sweep_section(rep)
