@@ -11,13 +11,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import CompressedUpdate, Compressor
+from repro.compression.base import CompressedUpdate, Compressor, SparseUpdate
 
 __all__ = ["ErrorFeedback"]
 
 
 class ErrorFeedback:
-    """Stateful per-client wrapper adding residual memory to any compressor."""
+    """Stateful per-client wrapper adding residual memory to any compressor.
+
+    The residual buffer is updated **in place**: the memory array doubles as
+    the corrected update (``memory += update``), and after compression the
+    transmitted values are subtracted back out — sparse outputs touch only
+    their ``nnz`` entries, so no dense reconstruction and no fresh
+    allocations on the hot path. Bit-identical to the historical
+    ``corrected − compress(corrected).to_dense()`` formulation
+    (``c − 0 = c`` exactly at untouched entries).
+    """
 
     def __init__(self, inner: Compressor):
         self.inner = inner
@@ -29,6 +38,11 @@ class ErrorFeedback:
         return f"ef_{inner_name}"
 
     @property
+    def fixed_k(self) -> bool:
+        """Whether the wrapped compressor can preplan its output block."""
+        return bool(getattr(self.inner, "fixed_k", False))
+
+    @property
     def memory(self) -> np.ndarray | None:
         """Current residual (None before the first compression)."""
         return self._memory
@@ -37,7 +51,12 @@ class ErrorFeedback:
         """Drop accumulated residual (e.g. when a client is re-initialized)."""
         self._memory = None
 
-    def compress(self, update: np.ndarray, ratio: float) -> CompressedUpdate:
+    def compress(
+        self,
+        update: np.ndarray,
+        ratio: float,
+        out: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> CompressedUpdate:
         update = np.ascontiguousarray(update, dtype=np.float32)
         if self._memory is None:
             self._memory = np.zeros_like(update)
@@ -45,8 +64,17 @@ class ErrorFeedback:
             raise ValueError(
                 f"update size changed: memory {self._memory.shape} vs update {update.shape}"
             )
-        corrected = update + self._memory
-        compressed = self.inner.compress(corrected, ratio)
+        self._memory += update
+        corrected = self._memory
+        if out is not None:
+            compressed = self.inner.compress(corrected, ratio, out=out)
+        else:
+            compressed = self.inner.compress(corrected, ratio)
         # Residual = what the compressor failed to transmit this round.
-        self._memory = corrected - compressed.to_dense()
+        if isinstance(compressed, SparseUpdate):
+            # Sparse indices are unique, so the scatter-subtract hits each
+            # retained entry once: fl(c − v) there, c (exactly) elsewhere.
+            self._memory[compressed.indices] -= compressed.values
+        else:
+            self._memory -= compressed.to_dense()
         return compressed

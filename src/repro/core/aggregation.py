@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import CompressedUpdate, SparseUpdate
+from repro.core.arena import AggregationArena
 
 __all__ = ["weighted_sparse_sum", "apply_server_update", "aggregate"]
 
@@ -30,6 +31,7 @@ def weighted_sparse_sum(
     *,
     mask: np.ndarray | None = None,
     out: np.ndarray | None = None,
+    arena: AggregationArena | None = None,
 ) -> np.ndarray:
     """Compute ``Σ_i weights[i] · (mask ⊙ dense(updates[i]))``.
 
@@ -39,6 +41,13 @@ def weighted_sparse_sum(
     scatter-add without any per-client Python-loop work. Dense updates fall
     back to vectorized AXPY. ``mask`` (the OPWA ``M``) applies at the
     parameter level.
+
+    With an ``arena``, the concatenation happens in the arena's reused pack
+    buffers (no fresh allocations, no per-update float64 temporaries) and,
+    when ``out`` is not given, the result lands in the arena's accumulator —
+    valid until the next arena-backed call. Every arena path performs the
+    identical IEEE operations in the identical order, so results are
+    bit-for-bit equal to the allocating path.
     """
     if not updates:
         raise ValueError("need at least one update")
@@ -53,7 +62,14 @@ def weighted_sparse_sum(
         raise ValueError(f"mask shape {mask.shape} != ({d},)")
 
     if out is None:
-        out = np.zeros(d, dtype=np.float64)
+        if arena is not None:
+            if arena.dense_size != d:
+                raise ValueError(
+                    f"arena dense_size {arena.dense_size} != updates' {d}"
+                )
+            out = arena.accumulator()
+        else:
+            out = np.zeros(d, dtype=np.float64)
     elif out.shape != (d,):
         raise ValueError(f"out shape {out.shape} != ({d},)")
     else:
@@ -61,10 +77,30 @@ def weighted_sparse_sum(
 
     sparse = [(w, u) for w, u in zip(weights, updates) if isinstance(u, SparseUpdate)]
     if sparse:
-        all_indices = np.concatenate([u.indices for _, u in sparse])
-        all_values = np.concatenate([w * u.values.astype(np.float64) for w, u in sparse])
-        if mask is not None:
-            all_values *= mask[all_indices]
+        if arena is not None:
+            total = sum(u.indices.size for _, u in sparse)
+            all_indices, all_values = arena.pack(total)
+            offset = 0
+            for w, u in sparse:
+                n = u.indices.size
+                all_indices[offset : offset + n] = u.indices
+                block = all_values[offset : offset + n]
+                # copyto + *= w is elementwise fl(v64 · w): identical to the
+                # allocating path's w * values.astype(float64).
+                np.copyto(block, u.values)
+                block *= w
+                offset += n
+            if mask is not None and total:
+                gathered = arena.gather(total, mask.dtype)
+                np.take(mask, all_indices, out=gathered)
+                all_values *= gathered
+        else:
+            all_indices = np.concatenate([u.indices for _, u in sparse])
+            all_values = np.concatenate(
+                [w * u.values.astype(np.float64) for w, u in sparse]
+            )
+            if mask is not None:
+                all_values *= mask[all_indices]
         if all_indices.size:
             out += np.bincount(all_indices, weights=all_values, minlength=d)
 
@@ -81,15 +117,43 @@ def apply_server_update(
     global_params: np.ndarray,
     aggregated_update: np.ndarray,
     server_step: float = 1.0,
+    *,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
-    """``w_{t+1} = w_t − η_s · Σ(...)`` — the descent step of lines 14/16/18."""
+    """``w_{t+1} = w_t − η_s · Σ(...)`` — the descent step of lines 14/16/18.
+
+    ``out`` (float32, params-shaped) receives the stepped parameters in
+    place — ``out=global_params`` is legal, reads complete before the write.
+    ``scratch`` (float64, params-shaped) is the working vector, letting a
+    caller with an :class:`~repro.core.arena.AggregationArena` avoid the
+    float64 temporary on the widest array in the system. Either keyword
+    selects the buffered path; results are bit-identical to the copying
+    path (``a − s·b ≡ (−s)·b + a`` and ``copyto`` rounds exactly like
+    ``astype`` — the exactness test in ``tests/core/test_arena.py`` pins
+    this).
+    """
     if global_params.shape != aggregated_update.shape:
         raise ValueError(
             f"shape mismatch {global_params.shape} vs {aggregated_update.shape}"
         )
-    return (global_params.astype(np.float64) - server_step * aggregated_update).astype(
-        np.float32
-    )
+    if out is None and scratch is None:
+        return (
+            global_params.astype(np.float64) - server_step * aggregated_update
+        ).astype(np.float32)
+    if scratch is None:
+        scratch = np.empty(global_params.shape, dtype=np.float64)
+    elif scratch.shape != global_params.shape or scratch.dtype != np.float64:
+        raise ValueError("scratch must be a float64 array of the params' shape")
+    # fl(−s·b) = −fl(s·b) (sign-exact), then fl(−s·b + a) ≡ fl(a − s·b).
+    np.multiply(aggregated_update, -float(server_step), out=scratch)
+    scratch += global_params
+    if out is None:
+        return scratch.astype(np.float32)
+    if out.shape != global_params.shape:
+        raise ValueError(f"out shape {out.shape} != {global_params.shape}")
+    np.copyto(out, scratch, casting="unsafe")
+    return out
 
 
 def aggregate(

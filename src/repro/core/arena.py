@@ -1,0 +1,151 @@
+"""Preallocated buffers for the sparse upload → aggregate hot path.
+
+Once training is vectorized, a compressing round's server-side cost is
+dominated by allocation-heavy array plumbing: every ``TopK.compress`` makes
+fresh ``(indices, values)`` arrays, ``weighted_sparse_sum`` re-concatenates
+all of them plus a per-update ``float64`` temporary, and the server step
+materializes two more full-width temporaries. :class:`AggregationArena`
+owns all of those buffers once and reuses them round after round:
+
+- **compress banks** — one index buffer and one value buffer sized ``Σkᵢ``
+  that compressors write into directly through their optional ``out=``
+  block interface (:mod:`repro.compression.sparsifiers`). Banks are
+  **double-buffered**: the round being aggregated and the previous round's
+  ``last_round_updates`` never share storage, so overlap analysis of the
+  finished round stays valid while the next round compresses.
+- **pack buffers** — the concatenated ``(int64 indices, float64 weighted
+  values)`` arrays :func:`~repro.core.aggregation.weighted_sparse_sum`
+  bincounts over, plus a mask-gather scratch; packed block-by-block with
+  the weight folded in, so no per-update temporaries and no
+  ``np.concatenate``.
+- **step scratch** — the ``float64`` working vector
+  :func:`~repro.core.aggregation.apply_server_update` and the server
+  optimizers use for their in-place ``out=`` path, eliminating the
+  ``astype(float64)`` copy of the widest array in the system.
+
+Determinism contract: every arena path performs exactly the same
+elementwise IEEE operations in the same order as the allocating path, so
+seeded histories are bit-identical with or without an arena
+(``tests/core/test_aggregation.py`` pins this).
+
+The arena is a *single-consumer* structure: one simulation (or one thread)
+aggregates at a time. Compress blocks for one round may be filled
+concurrently (they are disjoint slices), which is how the thread backend
+uses them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AggregationArena"]
+
+
+class _CompressBank:
+    """One round's compressor-output storage: index + value block buffers."""
+
+    __slots__ = ("idx", "val")
+
+    def __init__(self) -> None:
+        self.idx = np.empty(0, dtype=np.int64)
+        self.val = np.empty(0, dtype=np.float32)
+
+    def ensure(self, capacity: int) -> None:
+        if self.idx.size < capacity:
+            self.idx = np.empty(capacity, dtype=np.int64)
+            self.val = np.empty(capacity, dtype=np.float32)
+
+
+class AggregationArena:
+    """Reusable buffers for one aggregation point of width ``dense_size``."""
+
+    def __init__(self, dense_size: int):
+        if dense_size < 1:
+            raise ValueError(f"dense_size must be >= 1, got {dense_size}")
+        self.dense_size = int(dense_size)
+        # Aggregation-side pack buffers (grow to the largest Σkᵢ seen).
+        self._pack_idx = np.empty(0, dtype=np.int64)
+        self._pack_val = np.empty(0, dtype=np.float64)
+        self._gather = np.empty(0, dtype=np.float32)
+        # Full-width accumulators/scratch (allocated once, O(d)).
+        self._acc = np.zeros(self.dense_size, dtype=np.float64)
+        self.step_scratch = np.empty(self.dense_size, dtype=np.float64)
+        # Double-buffered compressor banks + the current round's block plan.
+        self._banks = (_CompressBank(), _CompressBank())
+        self._bank_index = 0
+        self._blocks: list[tuple[int, int] | None] = []
+
+    # ------------------------------------------------------- compress blocks
+
+    def plan_compress(self, ks: list[int | None]) -> None:
+        """Lay out this round's compressor output blocks.
+
+        ``ks[position]`` is the exact retained-entry count the compressor at
+        that position will emit (``None`` = no block: dense upload, or a
+        compressor whose output size is value-dependent). Flips to the other
+        bank so views handed out last round stay intact.
+        """
+        self._bank_index ^= 1
+        total = sum(k for k in ks if k is not None)
+        bank = self._banks[self._bank_index]
+        bank.ensure(total)
+        blocks: list[tuple[int, int] | None] = []
+        offset = 0
+        for k in ks:
+            if k is None:
+                blocks.append(None)
+            else:
+                if k < 1:
+                    raise ValueError(f"block size must be >= 1, got {k}")
+                blocks.append((offset, k))
+                offset += k
+        self._blocks = blocks
+
+    def compress_block(self, position: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """(index view, value view) planned for ``position`` — or ``None``.
+
+        Views are disjoint slices of the active bank, so concurrent fills
+        from different positions (the thread backend) are race-free.
+        """
+        if position >= len(self._blocks):
+            return None
+        block = self._blocks[position]
+        if block is None:
+            return None
+        offset, k = block
+        bank = self._banks[self._bank_index]
+        return bank.idx[offset : offset + k], bank.val[offset : offset + k]
+
+    # --------------------------------------------------------- pack buffers
+
+    def pack(self, nnz: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the concatenation buffers sized for ``nnz`` entries."""
+        if self._pack_idx.size < nnz:
+            self._pack_idx = np.empty(nnz, dtype=np.int64)
+            self._pack_val = np.empty(nnz, dtype=np.float64)
+        return self._pack_idx[:nnz], self._pack_val[:nnz]
+
+    def gather(self, nnz: int, dtype=np.float32) -> np.ndarray:
+        """Mask-gather scratch sized for ``nnz`` entries of ``dtype``.
+
+        ``np.take(mask, idx, out=...)`` needs the out buffer to match the
+        mask's dtype exactly; the subsequent ``values *= gathered`` upcasts
+        elementwise just like the allocating path's ``mask[idx]``.
+        """
+        if self._gather.size < nnz or self._gather.dtype != np.dtype(dtype):
+            self._gather = np.empty(nnz, dtype=dtype)
+        return self._gather[:nnz]
+
+    def accumulator(self) -> np.ndarray:
+        """The zeroed full-width ``float64`` reduction target."""
+        self._acc[...] = 0.0
+        return self._acc
+
+    # ------------------------------------------------------------- metrics
+
+    def nbytes(self) -> int:
+        """Total bytes currently held (observability/reporting)."""
+        arrays = [self._pack_idx, self._pack_val, self._gather, self._acc, self.step_scratch]
+        for bank in self._banks:
+            arrays += [bank.idx, bank.val]
+        return int(sum(a.nbytes for a in arrays))

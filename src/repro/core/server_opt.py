@@ -13,15 +13,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.aggregation import apply_server_update
 from repro.utils.validation import check_positive
 
 __all__ = ["ServerOptimizer", "ServerSGD", "ServerAdam", "make_server_optimizer"]
 
 
 class ServerOptimizer:
-    """Maps (current params, pseudo-gradient) to the next global params."""
+    """Maps (current params, pseudo-gradient) to the next global params.
 
-    def step(self, params: np.ndarray, pseudo_grad: np.ndarray) -> np.ndarray:
+    ``out``/``scratch`` select the in-place descent path of
+    :func:`~repro.core.aggregation.apply_server_update` — ``out=params``
+    is legal and bit-identical to the copying path.
+    """
+
+    def step(
+        self,
+        params: np.ndarray,
+        pseudo_grad: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError
 
     def reset(self) -> None:
@@ -44,7 +57,14 @@ class ServerSGD(ServerOptimizer):
         self.momentum = float(momentum)
         self._velocity: np.ndarray | None = None
 
-    def step(self, params: np.ndarray, pseudo_grad: np.ndarray) -> np.ndarray:
+    def step(
+        self,
+        params: np.ndarray,
+        pseudo_grad: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
         if self.momentum > 0:
             if self._velocity is None:
                 self._velocity = np.zeros_like(pseudo_grad, dtype=np.float64)
@@ -53,7 +73,7 @@ class ServerSGD(ServerOptimizer):
             update = self._velocity
         else:
             update = pseudo_grad
-        return (params.astype(np.float64) - self.lr * update).astype(np.float32)
+        return apply_server_update(params, update, self.lr, out=out, scratch=scratch)
 
     def reset(self) -> None:
         self._velocity = None
@@ -83,7 +103,14 @@ class ServerAdam(ServerOptimizer):
         self._v: np.ndarray | None = None
         self._t = 0
 
-    def step(self, params: np.ndarray, pseudo_grad: np.ndarray) -> np.ndarray:
+    def step(
+        self,
+        params: np.ndarray,
+        pseudo_grad: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
         g = pseudo_grad.astype(np.float64)
         if self._m is None:
             self._m = np.zeros_like(g)
@@ -94,7 +121,9 @@ class ServerAdam(ServerOptimizer):
         m_hat = self._m / (1 - self.beta1**self._t)
         v_hat = self._v / (1 - self.beta2**self._t)
         step = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
-        return (params.astype(np.float64) - step).astype(np.float32)
+        # server_step=1.0: fl(1·step) = step exactly, so the buffered path
+        # reproduces fl(params − step) bit-for-bit.
+        return apply_server_update(params, step, 1.0, out=out, scratch=scratch)
 
     def reset(self) -> None:
         self._m = self._v = None

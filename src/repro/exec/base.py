@@ -133,10 +133,19 @@ class WorkerContext:
         clients: Sequence,
         compressors: Sequence[Compressor] | None,
         model,
+        arena=None,
     ):
         self.clients = clients
         self.compressors = compressors
         self.model = model
+        #: Optional :class:`~repro.core.arena.AggregationArena`. When the
+        #: round planned a compress block for this task's position, the
+        #: compressor writes its (indices, values) directly into the arena's
+        #: bank instead of allocating — blocks are disjoint slices, so
+        #: thread workers sharing one arena never race. Process backends
+        #: must leave this ``None``: forked workers cannot see the parent's
+        #: post-fork block plans.
+        self.arena = arena
 
     def execute(
         self,
@@ -186,7 +195,19 @@ class WorkerContext:
                     f"task for client {task.cid} requests compression at ratio "
                     f"{task.ratio} but no compressors were configured"
                 )
-            update = self.compressors[task.cid].compress(res.delta, float(task.ratio))
+            block = (
+                self.arena.compress_block(task.position)
+                if self.arena is not None
+                else None
+            )
+            if block is not None:
+                update = self.compressors[task.cid].compress(
+                    res.delta, float(task.ratio), out=block
+                )
+            else:
+                update = self.compressors[task.cid].compress(
+                    res.delta, float(task.ratio)
+                )
         compress_seconds = time.perf_counter() - t0
 
         return TaskResult(

@@ -1,0 +1,248 @@
+"""Cross-cell world caching: build a config's dataset/partition/fleet once.
+
+A sweep over optimizer or compression axes re-runs
+:class:`~repro.fl.simulation.Simulation` construction for every cell, and
+most of that construction — raw dataset arrays, the train/test split, the
+client partition, the :class:`~repro.population.table.Population` column
+table — depends only on a small slice of the config. This module names that
+slice (:data:`DATASET_KEY_FIELDS`), packages its products as an immutable
+:class:`SimulationContext`, and caches contexts in a :class:`WorldCache` so
+every cell sharing the key reuses the same arrays.
+
+Correctness rests on two properties:
+
+- **stream independence** — the construction consumes the ``RngFactory``
+  named streams ``"partition"``, ``"links"``, ``"compute"`` and
+  ``"shard-sizes"``, each an independent child of the config seed, so
+  building them inside a context (before any simulation exists) draws
+  exactly the values :class:`Simulation.__init__` would have drawn in
+  place. Seeded histories are bit-identical with or without a context
+  (``tests/fl/test_context.py`` pins this).
+- **column immutability** — the only population columns a running
+  simulation ever writes (``available``, ``edge_of``) are freshly allocated
+  per :meth:`SimulationContext.make_population` call; the shared columns
+  are additionally frozen (``writeable=False``) so an accidental write
+  raises instead of corrupting sibling cells.
+
+Keying is deliberately conservative: every field that *could* influence the
+products is in the key, so two configs differing in any non-IID knob
+(``partition``, ``beta``, shard bounds, compute heterogeneity, seed, …)
+never share a table — even where sharing would happen to be safe (e.g.
+``beta`` under an IID partition).
+
+The cache is **process-local**. The sweep's forked process workers each
+hold their own instance (:data:`repro.scenarios.sweep` keeps one at module
+level), which is what turns a 100-cell grid from 100 dataset constructions
+into one per worker per key.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.data.datasets import DATASET_SPECS, train_test_split
+from repro.data.partition import (
+    Partition,
+    dirichlet_partition,
+    iid_partition,
+    shard_partition,
+)
+from repro.population.table import Population
+from repro.utils.rng import RngFactory
+
+__all__ = ["DATASET_KEY_FIELDS", "dataset_key", "SimulationContext", "WorldCache"]
+
+#: The config fields the cached products are a pure function of. Everything
+#: else (algorithm, compressor, ratios, server optimizer, protocol mode,
+#: transport, backend, …) may vary freely across cells sharing one context.
+DATASET_KEY_FIELDS = (
+    "dataset",
+    "num_train",
+    "num_test",
+    "num_clients",
+    "seed",
+    "partition",
+    "beta",
+    "virtual_shards",
+    "virtual_shard_min",
+    "virtual_shard_max",
+    "compute_s_per_sample",
+    "compute_heterogeneity",
+)
+
+
+def dataset_key(config) -> tuple:
+    """The world-cache key: the dataset-relevant slice of ``config``."""
+    return tuple(getattr(config, name) for name in DATASET_KEY_FIELDS)
+
+
+def _build_partition(config, rngs: RngFactory) -> Partition | None:
+    """The client partition exactly as ``Simulation.__init__`` draws it."""
+    if config.virtual_shards:
+        return None
+    train_set, _ = _split(config)
+    if config.partition == "dirichlet":
+        return dirichlet_partition(
+            train_set.y, config.num_clients, config.beta, seed=rngs.stream("partition")
+        )
+    if config.partition == "iid":
+        return iid_partition(
+            train_set.y, config.num_clients, seed=rngs.stream("partition")
+        )
+    return shard_partition(
+        train_set.y, config.num_clients, seed=rngs.stream("partition")
+    )
+
+
+def _split(config):
+    spec = DATASET_SPECS[config.dataset]
+    return train_test_split(
+        spec, config.num_train, config.num_test, seed=config.seed
+    )
+
+
+@dataclass(frozen=True)
+class SimulationContext:
+    """The cached, immutable products of one dataset key.
+
+    ``template`` is a fully-built :class:`Population` whose columns
+    :meth:`make_population` shares into per-simulation instances; the
+    template itself is never handed to a simulation.
+    """
+
+    key: tuple
+    train_set: object
+    test_set: object
+    partition: Partition | None
+    template: Population
+
+    @classmethod
+    def build(cls, config) -> "SimulationContext":
+        """Construct the world for ``config``'s dataset key.
+
+        Draws the same named RNG streams, in the same way, as a cold
+        :class:`~repro.fl.simulation.Simulation` — stream independence makes
+        the order of construction irrelevant, so the arrays are bit-equal.
+        """
+        rngs = RngFactory(config.seed)
+        train_set, test_set = _split(config)
+        partition = _build_partition(config, rngs)
+        template = Population.from_config(config, partition=partition)
+        # Freeze the shared columns: a write from any consumer would leak
+        # state between cells — fail loudly instead. (``available`` and
+        # ``edge_of`` are per-instance and stay writable.)
+        for col in (
+            template.bandwidth_bps,
+            template.latency_s,
+            template.s_per_sample,
+            template.data_sizes,
+        ):
+            col.flags.writeable = False
+        return cls(
+            key=dataset_key(config),
+            train_set=train_set,
+            test_set=test_set,
+            partition=partition,
+            template=template,
+        )
+
+    def check(self, config) -> None:
+        """Refuse configs whose dataset key this context was not built for."""
+        key = dataset_key(config)
+        if key != self.key:
+            raise ValueError(
+                f"context built for dataset key {self.key} cannot serve a "
+                f"config with key {key}"
+            )
+
+    def make_population(self) -> Population:
+        """A fresh :class:`Population` sharing the immutable columns.
+
+        ``available`` and ``edge_of`` — the only columns simulations mutate
+        (availability churn, hierarchy binding) — are freshly allocated by
+        ``Population.__post_init__``, so sibling cells never observe each
+        other's round state.
+        """
+        t = self.template
+        return Population(
+            seed=t.seed,
+            bandwidth_bps=t.bandwidth_bps,
+            latency_s=t.latency_s,
+            s_per_sample=t.s_per_sample,
+            data_sizes=t.data_sizes,
+            compute_overhead_s=t.compute_overhead_s,
+            partition=t.partition,
+            corpus_size=t.corpus_size,
+        )
+
+    def nbytes(self) -> int:
+        """Approximate cached bytes (dataset arrays + columns)."""
+        total = self.template.memory_bytes()
+        for ds in (self.train_set, self.test_set):
+            for name in ("x", "y"):
+                arr = getattr(ds, name, None)
+                if arr is not None:
+                    total += int(arr.nbytes)
+        return total
+
+
+class WorldCache:
+    """Thread-safe LRU of :class:`SimulationContext` by dataset key.
+
+    ``max_entries`` bounds resident worlds (a synthetic-CIFAR world is a few
+    MB; sweeps rarely span more than a handful of dataset keys at once).
+    Eviction only drops the cache's reference — a simulation still running
+    on an evicted context keeps it alive.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, SimulationContext] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, config) -> SimulationContext:
+        """The context for ``config``'s dataset key, building on first use."""
+        key = dataset_key(config)
+        with self._lock:
+            ctx = self._entries.get(key)
+            if ctx is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return ctx
+            self.misses += 1
+        # Build outside the lock (construction is the expensive part); a
+        # concurrent builder of the same key wastes one build, nothing more.
+        ctx = SimulationContext.build(config)
+        with self._lock:
+            self._entries[key] = ctx
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return ctx
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Cache accounting: hits/misses/evictions/resident entries."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "resident": len(self._entries),
+                "max_entries": self.max_entries,
+            }

@@ -19,8 +19,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import CompressedUpdate, SparseUpdate
+from repro.compression.registry import make_compressor
 from repro.compression.sparsifiers import k_from_ratio
 from repro.core.aggregation import weighted_sparse_sum
+from repro.core.arena import AggregationArena
 from repro.core.opwa import opwa_mask_from_updates
 from repro.core.server_opt import make_server_optimizer
 from repro.core.overlap import overlap_distribution
@@ -48,9 +50,26 @@ __all__ = ["Simulation", "run_experiment"]
 
 
 class Simulation(EngineMixin):
-    """A fully-seeded FL run; the round's client work runs on ``backend``."""
+    """A fully-seeded FL run; the round's client work runs on ``backend``.
 
-    def __init__(self, config: ExperimentConfig, obs: Obs | None = None):
+    ``context`` is an optional :class:`~repro.fl.context.SimulationContext`
+    carrying prebuilt dataset/partition/population products for this
+    config's dataset key (cross-cell sweep caching). Construction draws
+    exactly the same named RNG streams either way, so seeded histories are
+    bit-identical with or without one.
+    """
+
+    #: Whether compressors may write into the arena's per-round banks.
+    #: True only where an update's (indices, values) views never outlive
+    #: the double buffer: the flat synchronous round loop. The event-driven
+    #: protocols carry updates across aggregation windows (semisync
+    #: carryover) and the hierarchical protocol accumulates updates across
+    #: per-edge sub-rounds, so their compressors keep allocating.
+    _arena_compress: bool = True
+
+    def __init__(
+        self, config: ExperimentConfig, obs: Obs | None = None, context=None
+    ):
         self.config = config
         # Observability is deliberately NOT part of ExperimentConfig — it
         # never affects the experiment, so it must not perturb spec hashes.
@@ -60,25 +79,32 @@ class Simulation(EngineMixin):
         # Data: shared templates for train/test, then a client partition —
         # skipped entirely in the virtual-shard regime, where each client's
         # shard is a counter-seeded procedural draw from the corpus and the
-        # fleet may dwarf it (repro.population).
-        spec = DATASET_SPECS[config.dataset]
-        self.train_set, self.test_set = train_test_split(
-            spec, config.num_train, config.num_test, seed=config.seed
-        )
-        if config.virtual_shards:
-            self.partition = None
-        elif config.partition == "dirichlet":
-            self.partition = dirichlet_partition(
-                self.train_set.y, config.num_clients, config.beta, seed=rngs.stream("partition")
-            )
-        elif config.partition == "iid":
-            self.partition = iid_partition(
-                self.train_set.y, config.num_clients, seed=rngs.stream("partition")
-            )
+        # fleet may dwarf it (repro.population). A context supplies all of
+        # it prebuilt (the "partition" stream it consumed is independent of
+        # every stream drawn below, so nothing here shifts).
+        if context is not None:
+            context.check(config)
+            self.train_set, self.test_set = context.train_set, context.test_set
+            self.partition = context.partition
         else:
-            self.partition = shard_partition(
-                self.train_set.y, config.num_clients, seed=rngs.stream("partition")
+            spec = DATASET_SPECS[config.dataset]
+            self.train_set, self.test_set = train_test_split(
+                spec, config.num_train, config.num_test, seed=config.seed
             )
+            if config.virtual_shards:
+                self.partition = None
+            elif config.partition == "dirichlet":
+                self.partition = dirichlet_partition(
+                    self.train_set.y, config.num_clients, config.beta, seed=rngs.stream("partition")
+                )
+            elif config.partition == "iid":
+                self.partition = iid_partition(
+                    self.train_set.y, config.num_clients, seed=rngs.stream("partition")
+                )
+            else:
+                self.partition = shard_partition(
+                    self.train_set.y, config.num_clients, seed=rngs.stream("partition")
+                )
 
         # Model and its flat-parameter view.
         self.model = build_config_model(config, seed=rngs.stream("model"))
@@ -98,7 +124,11 @@ class Simulation(EngineMixin):
         # objects hydrated lazily for the sampled cohort only. The
         # partitioned regime replays the historical draw order, so seeded
         # runs reproduce the pre-population histories bit-for-bit.
-        self.population = Population.from_config(config, partition=self.partition)
+        self.population = (
+            context.make_population()
+            if context is not None
+            else Population.from_config(config, partition=self.partition)
+        )
         flatten = config.model == "mlp"
         cache = (
             config.hydration_cache
@@ -163,6 +193,28 @@ class Simulation(EngineMixin):
             self.compressors is not None and config.volume_override_bits is None
         )
 
+        # The fused upload→aggregate arena: preallocated pack buffers, the
+        # float64 accumulator and step scratch every round reuses, plus the
+        # double-buffered compressor banks. Compress-into-bank is gated to
+        # fixed-k compressors (their per-task output size is preplannable),
+        # flat-sync protocols (update views must not outlive the double
+        # buffer), and in-process backends (forked workers cannot see the
+        # parent's post-fork block plans).
+        self.arena = AggregationArena(self.dense_size)
+        self._fixed_k_compressors = bool(
+            comp_name
+            and getattr(make_compressor(comp_name, seed=0), "fixed_k", False)
+        )
+        self._exec_arena = (
+            self.arena
+            if (
+                self._arena_compress
+                and self._fixed_k_compressors
+                and config.backend in ("serial", "thread")
+            )
+            else None
+        )
+
         # Server optimizer over the aggregated pseudo-gradient (FedOpt family;
         # plain SGD with lr=server_step and no momentum is Algorithm 1 verbatim).
         self.server_opt = self._make_server_opt()
@@ -214,8 +266,14 @@ class Simulation(EngineMixin):
             mask = opwa_mask_from_updates(
                 sparse, cfg.gamma, required_overlap=cfg.required_overlap
             )
-        pseudo_grad = weighted_sparse_sum(updates, np.asarray(weights), mask=mask)
-        return server_opt.step(params, pseudo_grad), singleton
+        arena = self.arena
+        pseudo_grad = weighted_sparse_sum(
+            updates, np.asarray(weights), mask=mask, arena=arena
+        )
+        stepped = server_opt.step(
+            params, pseudo_grad, out=params, scratch=arena.step_scratch
+        )
+        return stepped, singleton
 
     def _aggregate_updates(
         self, updates: list[CompressedUpdate], weights, use_opwa: bool
@@ -397,6 +455,17 @@ class Simulation(EngineMixin):
             )
             for pos, cid in enumerate(selected)
         ]
+        if self._exec_arena is not None:
+            # Lay out this round's compressor output blocks (flipping the
+            # double buffer, which keeps last_round_updates' views valid).
+            self.arena.plan_compress(
+                [
+                    None
+                    if t.ratio is None
+                    else k_from_ratio(self.dense_size, t.ratio)
+                    for t in tasks
+                ]
+            )
         results = self._run_tasks(
             tasks, self.global_params, self.global_states, self._train_spec
         )
@@ -505,12 +574,17 @@ class Simulation(EngineMixin):
         return correct / n
 
 
-def run_experiment(config: ExperimentConfig, obs: Obs | None = None) -> History:
+def run_experiment(
+    config: ExperimentConfig, obs: Obs | None = None, context=None
+) -> History:
     """Convenience: build and run a full simulation, releasing its workers.
 
     Honors ``config.mode`` — event-driven protocols run when it says so.
+    ``context`` optionally supplies a prebuilt
+    :class:`~repro.fl.context.SimulationContext` (cross-cell caching);
+    histories are bit-identical with or without one.
     """
     from repro.simtime import make_simulation
 
-    with make_simulation(config, obs=obs) as sim:
+    with make_simulation(config, obs=obs, context=context) as sim:
         return sim.run()

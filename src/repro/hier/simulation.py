@@ -49,8 +49,14 @@ _EPS = 1e-9
 class HierSimulation(Simulation):
     """Two-tier federated rounds: per-edge sub-rounds + cloud averaging."""
 
-    def __init__(self, config: ExperimentConfig, obs=None):
-        super().__init__(config, obs=obs)
+    #: ``last_round_updates`` accumulates across every (edge, sub-round)
+    #: pair of a cloud round; one double-buffered bank per plan would be
+    #: overwritten mid-round, so hier compressors keep allocating. (The
+    #: arena's aggregation-side buffers are still used, per edge.)
+    _arena_compress = False
+
+    def __init__(self, config: ExperimentConfig, obs=None, context=None):
+        super().__init__(config, obs=obs, context=context)
         rngs = RngFactory(config.seed)
         self.topology: TierTopology = build_tier_topology(config, self.links, rngs)
         # One server optimizer per edge (identical hyperparameters); its

@@ -8,10 +8,29 @@ Concurrency is *across cells*: whole experiments fan out over a pool named
 after the exec-backend vocabulary — ``"serial"`` (in-order, the reference),
 ``"thread"`` (GIL-bound; fine for small grids and for exercising the
 machinery), ``"process"`` (forked workers — true parallelism; cells should
-then use ``backend="serial"`` internally so pools don't nest). Per-cell
-results are a pure function of the cell's config seed, so the report is
-bit-identical at any ``parallel`` on any executor (wall-clock
-``train_seconds``/``compress_seconds`` excepted, as everywhere).
+then use ``backend="serial"`` internally so pools don't nest; the runner
+enforces this, see below). Per-cell results are a pure function of the
+cell's config seed, so the report is bit-identical at any ``parallel`` on
+any executor (wall-clock ``train_seconds``/``compress_seconds`` excepted,
+as everywhere).
+
+**Persistent workers + cross-cell caching.** Grid cells overwhelmingly
+share their dataset world — same raw arrays, same splits, same partition,
+same population columns — and differ only in training knobs. Every
+:func:`run_cell` therefore resolves its cell's dataset-relevant config
+slice against a process-local :class:`~repro.fl.context.WorldCache` and
+threads the cached :class:`~repro.fl.context.SimulationContext` into
+:func:`~repro.fl.simulation.run_experiment`, so the expensive construction
+happens once per distinct world, not once per cell. The cache lives at
+module level, which makes it per-*worker* on the process executor — and the
+runner keeps its pool **persistent** (reused across :meth:`SweepRunner.run`
+calls until :meth:`SweepRunner.close`, or scope it with ``with``), so
+worker caches keep paying off across repeated/resumed sweeps.
+
+Guard rail: when the sweep executor is ``"process"``, a cell that itself
+requests ``backend="process"`` would fork a pool inside a pool. The runner
+tells workers to force such cells to ``backend="serial"`` (warning once per
+worker); by the determinism contract the history is identical either way.
 
 With a :class:`~repro.scenarios.store.RunStore`, finished cells persist as
 they complete and an interrupted sweep resumes by re-running only the
@@ -20,11 +39,13 @@ missing ones.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing as mp
 import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
 
+from repro.fl.context import WorldCache
 from repro.fl.history import History
 from repro.fl.simulation import run_experiment
 from repro.io.history_io import history_from_dict, history_to_dict
@@ -32,20 +53,57 @@ from repro.scenarios.report import SweepReport
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import RunStore
 
-__all__ = ["SweepRunner", "SWEEP_EXECUTORS", "run_cell"]
+__all__ = ["SweepRunner", "SWEEP_EXECUTORS", "run_cell", "WORLD_CACHE"]
 
 #: How cells fan out; mirrors the exec-backend vocabulary.
 SWEEP_EXECUTORS = ("serial", "thread", "process")
 
+#: Process-local dataset/world cache shared by every cell this process (or
+#: forked sweep worker) runs. Keyed purely on the dataset-relevant config
+#: slice — see :data:`repro.fl.context.DATASET_KEY_FIELDS`.
+WORLD_CACHE = WorldCache()
 
-def run_cell(spec_dict: dict) -> dict:
+#: Set once a worker has warned about forcing a nested-process cell serial,
+#: so a 1000-cell grid produces one warning per worker, not per cell.
+_warned_forced_serial = False
+
+
+def run_cell(
+    spec_dict: dict,
+    *,
+    use_cache: bool = True,
+    force_serial_backend: bool = False,
+) -> dict:
     """Run one cell (spec as dict in, history as dict out).
 
     Module-level and dict-typed so it crosses a process pool by reference +
     pickle; also the serial path, so every executor shares one code path.
+
+    ``use_cache`` resolves the cell's world through the process-local
+    :data:`WORLD_CACHE` (bit-identical to a cold build — the cache only
+    skips reconstruction of seeded-deterministic arrays).
+    ``force_serial_backend`` is the nested-pool guard rail: a cell
+    requesting ``backend="process"`` is run with ``backend="serial"``
+    instead (identical history by the determinism contract; the spec — and
+    therefore any :class:`~repro.scenarios.store.RunStore` key — is not
+    rewritten).
     """
+    global _warned_forced_serial
     spec = ScenarioSpec.from_dict(spec_dict)
-    return history_to_dict(run_experiment(spec.to_config()))
+    config = spec.to_config()
+    if force_serial_backend and config.backend == "process":
+        if not _warned_forced_serial:
+            _warned_forced_serial = True
+            warnings.warn(
+                "cell requests backend='process' inside a process-pool "
+                "sweep; nested worker pools oversubscribe the CPU — forcing "
+                "backend='serial' for this worker's cells (histories are "
+                "bit-identical by the determinism contract)",
+                stacklevel=2,
+            )
+        config = dataclasses.replace(config, backend="serial")
+    context = WORLD_CACHE.get(config) if use_cache else None
+    return history_to_dict(run_experiment(config, context=context))
 
 
 class SweepRunner:
@@ -119,25 +177,51 @@ class SweepRunner:
 
             obs = NULL_OBS
         self.obs = obs
+        self._pool: Executor | None = None
+        self._entered = False
         if self.executor == "process" and self.parallel > 1:
             busy = sorted({s.to_config().backend for s in self.specs} - {"serial"})
             if busy:
                 warnings.warn(
                     f"sweep cells use backend={busy} inside a process-pool "
                     "sweep; nested worker pools oversubscribe the CPU — "
-                    "prefer backend='serial' cells with sweep-level "
-                    "parallelism",
+                    "'process' cells are forced serial in the workers, "
+                    "'thread' cells run as requested; prefer "
+                    "backend='serial' cells with sweep-level parallelism",
                     stacklevel=2,
                 )
 
-    # ------------------------------------------------------------------ run
+    # ----------------------------------------------------------------- pool
 
-    def _make_pool(self) -> Executor:
-        if self.executor == "thread":
-            return ThreadPoolExecutor(max_workers=self.parallel)
-        return ProcessPoolExecutor(
-            max_workers=self.parallel, mp_context=mp.get_context("fork")
-        )
+    def _ensure_pool(self) -> Executor:
+        """The runner's persistent executor pool (created on first use).
+
+        Kept alive across :meth:`run` calls so forked workers — and with
+        them the per-worker :data:`WORLD_CACHE` — survive from one sweep to
+        the next. Released by :meth:`close` (or leaving a ``with`` block).
+        """
+        if self._pool is None:
+            if self.executor == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=self.parallel)
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.parallel, mp_context=mp.get_context("fork")
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> SweepRunner:
+        self._entered = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._entered = False
+        self.close()
 
     def run(self) -> SweepReport:
         """Run every cell (skipping completed store entries); build the report.
@@ -192,6 +276,7 @@ class SweepRunner:
             if self.progress is not None:
                 self.progress(self.specs[i], False)
 
+        force_serial = self.executor == "process" and self.parallel > 1
         if not pending:
             pass
         elif self.parallel == 1 or self.executor == "serial" or len(pending) == 1:
@@ -199,7 +284,8 @@ class SweepRunner:
                 dispatch(i)
                 resolve(i, run_cell(self.specs[i].to_dict()))
         else:
-            with self._make_pool() as pool:
+            try:
+                pool = self._ensure_pool()
                 # Bounded submission window: keep at most ``parallel``
                 # futures alive so a 10k-cell grid doesn't pickle everything
                 # up front, and persist each cell the moment it lands.
@@ -209,10 +295,21 @@ class SweepRunner:
                     while todo and len(futures) < self.parallel:
                         i = todo.pop(0)
                         dispatch(i)
-                        futures[pool.submit(run_cell, self.specs[i].to_dict())] = i
+                        futures[
+                            pool.submit(
+                                run_cell,
+                                self.specs[i].to_dict(),
+                                force_serial_backend=force_serial,
+                            )
+                        ] = i
                     done, _ = wait(futures, return_when=FIRST_COMPLETED)
                     for fut in done:
                         resolve(futures.pop(fut), fut.result())
+            finally:
+                # Outside a ``with`` block the pool is single-use, matching
+                # the historical behavior; entered runners keep it warm.
+                if not self._entered:
+                    self.close()
 
         ordered = [(self.specs[i], results[i]) for i in range(len(self.specs))]
         return SweepReport(

@@ -61,7 +61,7 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def make_simulation(config, obs=None):
+def make_simulation(config, obs=None, context=None):
     """Build the simulation class selected by ``config.mode``.
 
     ``"sync"`` returns the lock-step :class:`~repro.fl.simulation.Simulation`;
@@ -73,19 +73,21 @@ def make_simulation(config, obs=None):
     (seeded runs bit-identical across execution backends).
 
     ``obs`` is an optional :class:`repro.obs.Obs` bundle; it only ever
-    observes — histories are bit-identical with or without it.
+    observes — histories are bit-identical with or without it. ``context``
+    is an optional prebuilt :class:`~repro.fl.context.SimulationContext`
+    (cross-cell dataset caching) — likewise invisible in the history.
     """
     from repro.fl.simulation import Simulation
     from repro.simtime.protocols import AsyncSimulation, SemiSyncSimulation
 
     if config.mode == "sync":
-        return Simulation(config, obs=obs)
+        return Simulation(config, obs=obs, context=context)
     if config.mode == "semisync":
-        return SemiSyncSimulation(config, obs=obs)
+        return SemiSyncSimulation(config, obs=obs, context=context)
     if config.mode == "async":
-        return AsyncSimulation(config, obs=obs)
+        return AsyncSimulation(config, obs=obs, context=context)
     if config.mode == "hier":
         from repro.hier.simulation import HierSimulation
 
-        return HierSimulation(config, obs=obs)
+        return HierSimulation(config, obs=obs, context=context)
     raise ValueError(f"unknown mode {config.mode!r}")

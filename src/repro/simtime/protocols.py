@@ -77,8 +77,14 @@ class _Pending:
 class _EventDrivenSimulation(Simulation):
     """Shared machinery: dispatch pipeline, staleness weighting, aggregation."""
 
-    def __init__(self, config: ExperimentConfig, obs=None):
-        super().__init__(config, obs=obs)
+    #: Carryover keeps a _Pending's update alive across aggregation windows
+    #: (semisync ``late_policy="carryover"``), which outlives the arena's
+    #: double-buffered compress banks — compressors allocate as before.
+    #: (The arena's aggregation-side buffers are still used.)
+    _arena_compress = False
+
+    def __init__(self, config: ExperimentConfig, obs=None, context=None):
+        super().__init__(config, obs=obs, context=context)
         # The server's ingress: upload completions come back from this pipe
         # in deterministic (finish, admission) order — exclusive links
         # reproduce the historical event-queue arrival order bit-for-bit,
@@ -332,8 +338,8 @@ class AsyncSimulation(_EventDrivenSimulation):
     paper's Fig. 10 time-to-accuracy curves motivate.
     """
 
-    def __init__(self, config: ExperimentConfig, obs=None):
-        super().__init__(config, obs=obs)
+    def __init__(self, config: ExperimentConfig, obs=None, context=None):
+        super().__init__(config, obs=obs, context=context)
         if config.time_varying_links:
             # Link drift is a per-round process; async has no rounds to pin
             # it to. Refuse rather than silently freeze the links.
@@ -437,8 +443,8 @@ class SemiSyncSimulation(_EventDrivenSimulation):
     so progress is guaranteed.
     """
 
-    def __init__(self, config: ExperimentConfig, obs=None):
-        super().__init__(config, obs=obs)
+    def __init__(self, config: ExperimentConfig, obs=None, context=None):
+        super().__init__(config, obs=obs, context=context)
         self._rng = RngFactory(config.seed).stream("semisync-sampler")
         self._busy: set[int] = set()  # carryover clients still uploading
 

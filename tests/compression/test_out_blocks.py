@@ -1,0 +1,119 @@
+"""Tests for the compressors' ``out=`` block interface (arena compress banks).
+
+Fixed-``k`` compressors may write their (indices, values) straight into a
+preplanned buffer pair; the output must be **bit-identical** to the
+allocating path, and stateful wrappers (error feedback) must evolve their
+state identically either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.ef import ErrorFeedback
+from repro.compression.registry import make_compressor
+from repro.compression.sparsifiers import RandomK, ThresholdSparsifier, TopK, k_from_ratio
+from repro.core.arena import AggregationArena
+
+
+def block_for(d, ratio):
+    k = k_from_ratio(d, ratio)
+    return np.empty(k, dtype=np.int64), np.empty(k, dtype=np.float32)
+
+
+class TestFixedKFlags:
+    def test_sparsifier_flags(self):
+        assert TopK.fixed_k is True
+        assert RandomK.fixed_k is True
+        assert ThresholdSparsifier.fixed_k is False
+
+    def test_ef_inherits_inner_flag(self):
+        assert ErrorFeedback(TopK()).fixed_k is True
+        assert ErrorFeedback(ThresholdSparsifier(0.1)).fixed_k is False
+
+    @pytest.mark.parametrize("name,expected", [
+        ("topk", True), ("randomk", True), ("ef_topk", True),
+        ("ef_randomk", True), ("threshold", False), ("qsgd8", False),
+        ("sign", False),
+    ])
+    def test_registry_names(self, name, expected):
+        comp = make_compressor(name, seed=0)
+        assert bool(getattr(comp, "fixed_k", False)) is expected
+
+
+class TestTopKOut:
+    def test_bit_identical_to_allocating(self, rng):
+        d, ratio = 257, 0.13
+        u = rng.normal(size=d).astype(np.float32)
+        ref = TopK().compress(u, ratio)
+        got = TopK().compress(u, ratio, out=block_for(d, ratio))
+        np.testing.assert_array_equal(got.indices, ref.indices)
+        np.testing.assert_array_equal(got.values, ref.values)
+
+    def test_writes_into_given_buffers(self, rng):
+        d, ratio = 100, 0.1
+        idx_buf, val_buf = block_for(d, ratio)
+        got = TopK().compress(rng.normal(size=d).astype(np.float32), ratio,
+                              out=(idx_buf, val_buf))
+        assert got.indices is idx_buf and got.values is val_buf
+
+    def test_wrong_block_size_rejected(self, rng):
+        u = rng.normal(size=100).astype(np.float32)
+        with pytest.raises(ValueError, match="out block"):
+            TopK().compress(u, 0.1, out=block_for(100, 0.2))
+
+
+class TestRandomKOut:
+    @pytest.mark.parametrize("unbiased", [True, False])
+    def test_bit_identical_to_allocating(self, rng, unbiased):
+        d, ratio = 321, 0.07
+        u = rng.normal(size=d).astype(np.float32)
+        ref = RandomK(seed=11, unbiased=unbiased).compress(u, ratio)
+        got = RandomK(seed=11, unbiased=unbiased).compress(u, ratio, out=block_for(d, ratio))
+        np.testing.assert_array_equal(got.indices, ref.indices)
+        np.testing.assert_array_equal(got.values, ref.values)
+
+
+class TestErrorFeedbackOut:
+    def test_multi_round_bit_identical_with_state(self, rng):
+        """out= and allocating EF runs diverge in neither output nor residual."""
+        d, ratio = 400, 0.05
+        ef_a = ErrorFeedback(TopK())
+        ef_b = ErrorFeedback(TopK())
+        arena = AggregationArena(d)
+        k = k_from_ratio(d, ratio)
+        for _ in range(5):
+            u = rng.normal(size=d).astype(np.float32)
+            ref = ef_a.compress(u, ratio)
+            arena.plan_compress([k])
+            got = ef_b.compress(u, ratio, out=arena.compress_block(0))
+            np.testing.assert_array_equal(got.indices, ref.indices)
+            np.testing.assert_array_equal(got.values, ref.values)
+            np.testing.assert_array_equal(ef_a.memory, ef_b.memory)
+
+    def test_residual_matches_historical_formulation(self, rng):
+        d, ratio = 200, 0.1
+        ef = ErrorFeedback(TopK())
+        u = rng.normal(size=d).astype(np.float32)
+        out = ef.compress(u, ratio, out=block_for(d, ratio))
+        expected = u - out.to_dense()
+        np.testing.assert_array_equal(ef.memory, expected)
+
+
+class TestArenaBankRoundTrip:
+    def test_compress_into_planned_blocks(self, rng):
+        """Compressors fill disjoint bank blocks; views keep their content."""
+        d, ratio = 150, 0.2
+        k = k_from_ratio(d, ratio)
+        arena = AggregationArena(d)
+        arena.plan_compress([k, k, None])
+        comps = [TopK(), TopK()]
+        us = [rng.normal(size=d).astype(np.float32) for _ in range(2)]
+        outs = [
+            comps[i].compress(us[i], ratio, out=arena.compress_block(i))
+            for i in range(2)
+        ]
+        assert arena.compress_block(2) is None
+        for i, got in enumerate(outs):
+            ref = TopK().compress(us[i], ratio)
+            np.testing.assert_array_equal(got.indices, ref.indices)
+            np.testing.assert_array_equal(got.values, ref.values)

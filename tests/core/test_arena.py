@@ -1,0 +1,184 @@
+"""Tests for the fused sparse-aggregation arena and the in-place step path.
+
+The load-bearing property everywhere: arena-backed calls are **bit-for-bit**
+equal to the allocating paths they replace — the arena may only change who
+owns the memory, never a single IEEE operation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.base import DenseUpdate, SparseUpdate
+from repro.compression.sparsifiers import TopK
+from repro.core.aggregation import apply_server_update, weighted_sparse_sum
+from repro.core.arena import AggregationArena
+from repro.core.opwa import opwa_mask_from_updates
+from repro.core.server_opt import make_server_optimizer
+
+
+def topk_updates(rng, d, n, ratio):
+    return [
+        TopK().compress(rng.normal(size=d).astype(np.float32), ratio)
+        for _ in range(n)
+    ]
+
+
+class TestArenaSparseSum:
+    def test_bit_identical_to_allocating_path(self, rng):
+        d = 300
+        updates = topk_updates(rng, d, 5, 0.2)
+        weights = rng.dirichlet(np.ones(5))
+        arena = AggregationArena(d)
+        got = weighted_sparse_sum(updates, weights, arena=arena)
+        ref = weighted_sparse_sum(updates, weights)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_bit_identical_with_mask(self, rng):
+        d = 120
+        updates = topk_updates(rng, d, 4, 0.3)
+        weights = rng.dirichlet(np.ones(4))
+        mask = opwa_mask_from_updates(updates, gamma=7.0)
+        arena = AggregationArena(d)
+        got = weighted_sparse_sum(updates, weights, mask=mask, arena=arena)
+        ref = weighted_sparse_sum(updates, weights, mask=mask)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_reuse_across_calls_bit_identical(self, rng):
+        """Stale buffer contents from a prior round never leak into the next."""
+        d = 80
+        arena = AggregationArena(d)
+        for n in (6, 3, 6):  # shrink then regrow the packed width
+            updates = topk_updates(rng, d, n, 0.25)
+            weights = rng.dirichlet(np.ones(n))
+            got = weighted_sparse_sum(updates, weights, arena=arena).copy()
+            ref = weighted_sparse_sum(updates, weights)
+            np.testing.assert_array_equal(got, ref)
+
+    def test_accumulator_is_arena_owned(self, rng):
+        d = 40
+        arena = AggregationArena(d)
+        updates = topk_updates(rng, d, 2, 0.5)
+        out = weighted_sparse_sum(updates, np.array([0.5, 0.5]), arena=arena)
+        assert out is arena._acc
+
+    def test_mixed_dense_sparse_with_arena(self, rng):
+        d = 50
+        su = TopK().compress(rng.normal(size=d).astype(np.float32), 0.2)
+        du = DenseUpdate(dense_size=d, values=np.ones(d, np.float32))
+        arena = AggregationArena(d)
+        got = weighted_sparse_sum([su, du], np.array([1.0, 2.0]), arena=arena)
+        ref = weighted_sparse_sum([su, du], np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(got, ref)
+
+    def test_arena_dense_size_mismatch_rejected(self, rng):
+        updates = topk_updates(rng, 20, 1, 0.5)
+        with pytest.raises(ValueError, match="dense_size"):
+            weighted_sparse_sum(updates, np.array([1.0]), arena=AggregationArena(21))
+
+
+class TestCompressBanks:
+    def test_blocks_are_disjoint_bank_slices(self):
+        arena = AggregationArena(100)
+        arena.plan_compress([3, None, 5, 2])
+        blocks = [arena.compress_block(i) for i in range(4)]
+        assert blocks[1] is None
+        spans = []
+        for b in (blocks[0], blocks[2], blocks[3]):
+            idx, val = b
+            assert idx.dtype == np.int64 and val.dtype == np.float32
+            assert idx.size == val.size
+            spans.append(idx.size)
+        assert spans == [3, 5, 2]
+        # writing one block never touches another
+        blocks[0][1][...] = 1.0
+        blocks[2][1][...] = 2.0
+        assert float(blocks[0][1][0]) == 1.0
+
+    def test_double_buffer_keeps_last_round_views_valid(self):
+        arena = AggregationArena(100)
+        arena.plan_compress([2])
+        idx, val = arena.compress_block(0)
+        idx[...] = [4, 9]
+        val[...] = [1.5, -2.5]
+        arena.plan_compress([2])  # next round flips banks
+        idx2, val2 = arena.compress_block(0)
+        idx2[...] = [0, 1]
+        val2[...] = [9.0, 9.0]
+        # previous round's views are intact
+        np.testing.assert_array_equal(idx, [4, 9])
+        np.testing.assert_array_equal(val, [1.5, -2.5])
+
+    def test_out_of_range_position_returns_none(self):
+        arena = AggregationArena(10)
+        arena.plan_compress([2])
+        assert arena.compress_block(5) is None
+
+    def test_bad_block_size_rejected(self):
+        arena = AggregationArena(10)
+        with pytest.raises(ValueError):
+            arena.plan_compress([0])
+
+    def test_nbytes_reports_growth(self):
+        arena = AggregationArena(10)
+        before = arena.nbytes()
+        arena.plan_compress([64])
+        assert arena.nbytes() > before
+
+
+class TestInPlaceServerStep:
+    """Satellite (a): the ``out=``/``scratch=`` step path is exact."""
+
+    def test_out_and_scratch_bit_identical(self, rng):
+        w = rng.normal(size=500).astype(np.float32)
+        g = rng.normal(size=500)
+        ref = apply_server_update(w, g, 0.7)
+        scratch = np.empty(500, dtype=np.float64)
+        out = np.empty(500, dtype=np.float32)
+        got = apply_server_update(w, g, 0.7, out=out, scratch=scratch)
+        assert got is out
+        np.testing.assert_array_equal(got, ref)
+
+    def test_out_aliasing_params_is_exact(self, rng):
+        w = rng.normal(size=200).astype(np.float32)
+        g = rng.normal(size=200)
+        ref = apply_server_update(w, g, 1.0)
+        got = apply_server_update(w, g, 1.0, out=w, scratch=np.empty(200, np.float64))
+        assert got is w
+        np.testing.assert_array_equal(w, ref)
+
+    def test_scratch_only_path_exact(self, rng):
+        w = rng.normal(size=100).astype(np.float32)
+        g = rng.normal(size=100)
+        ref = apply_server_update(w, g, 0.3)
+        got = apply_server_update(w, g, 0.3, scratch=np.empty(100, np.float64))
+        np.testing.assert_array_equal(got, ref)
+
+    def test_bad_scratch_rejected(self, rng):
+        w = np.ones(4, np.float32)
+        with pytest.raises(ValueError, match="scratch"):
+            apply_server_update(w, np.ones(4), scratch=np.empty(4, np.float32))
+        with pytest.raises(ValueError, match="scratch"):
+            apply_server_update(w, np.ones(4), scratch=np.empty(5, np.float64))
+
+    def test_bad_out_rejected(self, rng):
+        w = np.ones(4, np.float32)
+        with pytest.raises(ValueError, match="out"):
+            apply_server_update(
+                w, np.ones(4), out=np.empty(5, np.float32),
+                scratch=np.empty(4, np.float64),
+            )
+
+    @pytest.mark.parametrize("name", ["sgd", "adam"])
+    def test_server_optimizers_out_path_exact(self, rng, name):
+        d = 64
+        kwargs = {"lr": 0.5, "momentum": 0.4} if name == "sgd" else {"lr": 0.5}
+        opt_a = make_server_optimizer(name, **kwargs)
+        opt_b = make_server_optimizer(name, **kwargs)
+        w_a = rng.normal(size=d).astype(np.float32)
+        w_b = w_a.copy()
+        scratch = np.empty(d, dtype=np.float64)
+        for _ in range(3):  # stateful across steps (momentum / Adam moments)
+            g = rng.normal(size=d)
+            w_a = opt_a.step(w_a, g)
+            w_b = opt_b.step(w_b, g, out=w_b, scratch=scratch)
+        np.testing.assert_array_equal(w_a, w_b)
