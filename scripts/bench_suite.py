@@ -279,18 +279,26 @@ def section_sweep(quick: bool, seed: int) -> tuple[list[dict], dict]:
 
 
 def section_agg(quick: bool, seed: int) -> tuple[list[dict], dict]:
-    """Fused sparse-aggregation throughput through the arena's pack buffers.
+    """Aggregation throughput through the arena: plain mean and defenses.
 
-    Measures :func:`~repro.core.aggregation.weighted_sparse_sum` over a
-    realistic round shape (many Top-K updates into one wide vector), arena
-    path — retained entries reduced per second. The arena makes the loop
+    Two measurements. ``agg.sparse_sum_throughput`` is
+    :func:`~repro.core.aggregation.weighted_sparse_sum` over a realistic
+    round shape (many Top-K updates into one wide vector), arena path —
+    retained entries reduced per second; the arena makes the loop
     allocation-free, so this tracks the pure pack+bincount cost.
+    ``agg.robust_throughput`` is the order-statistic defenses
+    (:func:`~repro.robust.aggregators.robust_aggregate`) at a
+    million-coordinate model: the cohort densifies into the arena's row
+    matrix and reduces per coordinate, so the unit is dense cells per
+    second and the details record how many multiples of the plain mean a
+    robust round costs.
     """
     import numpy as np
 
     from repro.compression.base import SparseUpdate
     from repro.core.aggregation import weighted_sparse_sum
     from repro.core.arena import AggregationArena
+    from repro.robust.aggregators import robust_aggregate
 
     d = 500_000
     n_updates = 32
@@ -326,6 +334,61 @@ def section_agg(quick: bool, seed: int) -> tuple[list[dict], dict]:
         "reps": reps,
         "wall_seconds": round(wall, 4),
         "entries_per_sec": round(entries_per_sec),
+    }
+
+    # Robust defenses at d=1M: an 8-client cohort of 5%-dense Top-K
+    # updates (the (8, 1M) float64 row matrix stays at 64 MB in the
+    # arena). Walls cover densify + reduce, i.e. the full extra cost a
+    # robust round pays over the fused sparse mean.
+    d_r, n_r, k_r = 1_000_000, 8, 50_000
+    reps_r = 3 if quick else 10
+    r_updates = []
+    for _ in range(n_r):
+        idx = np.sort(rng.choice(d_r, size=k_r, replace=False)).astype(np.int64)
+        val = rng.standard_normal(k_r).astype(np.float32)
+        r_updates.append(SparseUpdate(dense_size=d_r, indices=idx, values=val))
+    r_weights = np.full(n_r, 1.0 / n_r)
+    r_arena = AggregationArena(d_r)
+    walls: dict[str, float] = {}
+    for rule in ("mean", "trimmed_mean", "median"):
+        robust_aggregate(
+            r_updates, r_weights, aggregator=rule, trim_beta=0.25, arena=r_arena
+        )  # warm rows + accumulator
+        t0 = time.perf_counter()
+        for _ in range(reps_r):
+            robust_aggregate(
+                r_updates, r_weights, aggregator=rule, trim_beta=0.25, arena=r_arena
+            )
+        walls[rule] = time.perf_counter() - t0
+    cells_per_sec = {r: reps_r * n_r * d_r / w for r, w in walls.items()}
+    benchmarks.append(
+        _bench(
+            "agg.robust_throughput",
+            round(cells_per_sec["median"] / 1e6, 2),
+            "Mcells/s",
+            "higher",
+            gate=True,
+        )
+    )
+    benchmarks.append(
+        _bench(
+            "agg.robust.trimmed_mean_throughput",
+            round(cells_per_sec["trimmed_mean"] / 1e6, 2),
+            "Mcells/s",
+            "higher",
+        )
+    )
+    details["robust"] = {
+        "dense_size": d_r,
+        "updates": n_r,
+        "k": k_r,
+        "reps": reps_r,
+        "wall_seconds": {r: round(w, 4) for r, w in walls.items()},
+        "cells_per_sec": {r: round(v) for r, v in cells_per_sec.items()},
+        "slowdown_vs_mean": {
+            r: round(walls[r] / walls["mean"], 2)
+            for r in ("trimmed_mean", "median")
+        },
     }
     return benchmarks, details
 

@@ -1,0 +1,42 @@
+"""Regenerate the robustness golden histories in ``tests/goldens``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+
+Each golden is the deterministic serial trace of one
+``robust_golden_configs.ROBUST_GOLDEN_CONFIGS`` entry, captured through
+the shared :mod:`repro.testing.goldens` harness — the same capture the
+test suite replays on every backend. Rerun this after any *intentional*
+change to sampling, training, compression, aggregation, fault injection,
+or virtual-time pricing, and review the JSON diff like any other code
+change.
+
+(The population goldens in ``tests/population/goldens`` are *not*
+touched: those are frozen pre-refactor artifacts that cannot be rebuilt
+from this tree.)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO / "tests" / "goldens"
+sys.path.insert(0, str(GOLDEN_DIR))
+
+from robust_golden_configs import ROBUST_GOLDEN_CONFIGS, golden_name  # noqa: E402
+
+from repro.testing.goldens import run_trace, write_golden  # noqa: E402
+
+
+def main() -> None:
+    for name, config in ROBUST_GOLDEN_CONFIGS.items():
+        out = GOLDEN_DIR / golden_name(name)
+        write_golden(out, run_trace(config.with_(backend="serial")))
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

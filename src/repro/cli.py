@@ -148,6 +148,45 @@ def _add_common(p: argparse.ArgumentParser, *, mode_flag: bool = True) -> None:
         help="shared server-ingress capacity fair-shared among concurrent "
              "uploads (per edge under --mode hier)",
     )
+    p.add_argument(
+        "--adversary", default=None, choices=("sign_flip", "scaled", "label_flip"),
+        help="byzantine client behavior (members drawn per client from a "
+             "seed-pure counter stream; see --adversary-fraction)",
+    )
+    p.add_argument(
+        "--adversary-fraction", type=float, default=None, metavar="F",
+        help="expected fraction of adversarial clients (default: 0)",
+    )
+    p.add_argument(
+        "--adversary-scale", type=float, default=None, metavar="LAMBDA",
+        help="update magnification for --adversary scaled (default: 10)",
+    )
+    p.add_argument(
+        "--aggregator", default=None,
+        choices=("mean", "median", "trimmed_mean", "norm_clip"),
+        help="server aggregation rule (default: weighted mean)",
+    )
+    p.add_argument(
+        "--trim-beta", type=float, default=None, metavar="BETA",
+        help="trimmed_mean: trim ⌊β·n⌋ updates per coordinate tail",
+    )
+    p.add_argument(
+        "--clip-tau", type=float, default=None, metavar="TAU",
+        help="norm_clip: L2 radius updates are scaled into",
+    )
+    p.add_argument(
+        "--drop-prob", type=float, default=None, metavar="P",
+        help="per-upload probability the payload is lost in flight",
+    )
+    p.add_argument(
+        "--truncate-prob", type=float, default=None, metavar="P",
+        help="per-upload probability the payload arrives truncated "
+             "(re-priced at its delivered bits)",
+    )
+    p.add_argument(
+        "--edge-crash-prob", type=float, default=None, metavar="P",
+        help="hier: per-(round, edge) aggregator crash probability",
+    )
     p.add_argument("--save-history", metavar="PATH", default=None)
     p.add_argument("--export-csv", metavar="PATH", default=None)
 
@@ -278,6 +317,15 @@ def _config(args: argparse.Namespace, algorithm: str):
         ("backhaul_latency", "backhaul_latency_s"),
         ("contention", "contention"),
         ("ingress_mbps", "server_ingress_mbps"),
+        ("adversary", "adversary"),
+        ("adversary_fraction", "adversary_fraction"),
+        ("adversary_scale", "adversary_scale"),
+        ("aggregator", "aggregator"),
+        ("trim_beta", "trim_beta"),
+        ("clip_tau", "clip_tau"),
+        ("drop_prob", "drop_prob"),
+        ("truncate_prob", "truncate_prob"),
+        ("edge_crash_prob", "edge_crash_prob"),
     ):
         value = getattr(args, flag, None)
         if value is not None:

@@ -74,6 +74,9 @@ class AggregationArena:
         self._banks = (_CompressBank(), _CompressBank())
         self._bank_index = 0
         self._blocks: list[tuple[int, int] | None] = []
+        # Densified-update matrix for order-statistic aggregators
+        # (coordinate median / trimmed mean); grows to the largest cohort.
+        self._rows = np.empty((0, self.dense_size), dtype=np.float64)
 
     # ------------------------------------------------------- compress blocks
 
@@ -141,11 +144,27 @@ class AggregationArena:
         self._acc[...] = 0.0
         return self._acc
 
+    def rows(self, n: int) -> np.ndarray:
+        """A zeroed ``(n, dense_size)`` float64 matrix for densified updates.
+
+        The order-statistic aggregators (:mod:`repro.robust.aggregators`)
+        scatter each update into one row and reduce down the columns;
+        reusing one grow-only matrix keeps a robust round allocation-free
+        after warmup, like the pack buffers do for the mean path.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if self._rows.shape[0] < n:
+            self._rows = np.empty((n, self.dense_size), dtype=np.float64)
+        view = self._rows[:n]
+        view[...] = 0.0
+        return view
+
     # ------------------------------------------------------------- metrics
 
     def nbytes(self) -> int:
         """Total bytes currently held (observability/reporting)."""
-        arrays = [self._pack_idx, self._pack_val, self._gather, self._acc, self.step_scratch]
+        arrays = [self._pack_idx, self._pack_val, self._gather, self._acc, self.step_scratch, self._rows]
         for bank in self._banks:
             arrays += [bank.idx, bank.val]
         return int(sum(a.nbytes for a in arrays))

@@ -58,6 +58,14 @@ class TrainSpec:
     #: Ship the raw dense delta back alongside the compressed update
     #: (needed by the decentralized engine's mixing step).
     return_delta: bool = False
+    #: Byzantine behavior (repro.robust). Carried on the spec — not the
+    #: worker — so forked process workers corrupt the identical clients:
+    #: membership is a pure function of ``(seed, cid)``, evaluated wherever
+    #: the task runs. ``adversary=None`` (the default) touches nothing.
+    adversary: str | None = None
+    adversary_fraction: float = 0.0
+    adversary_scale: float = 10.0
+    seed: int = 0
 
     @classmethod
     def from_config(cls, config, *, return_delta: bool = False) -> "TrainSpec":
@@ -70,6 +78,10 @@ class TrainSpec:
             proximal_mu=config.proximal_mu,
             optimizer=config.local_optimizer,
             return_delta=return_delta,
+            adversary=config.adversary,
+            adversary_fraction=config.adversary_fraction,
+            adversary_scale=config.adversary_scale,
+            seed=config.seed,
         )
 
 
@@ -183,6 +195,18 @@ class WorkerContext:
             global_states=global_states,
         )
         train_seconds = time.perf_counter() - t0
+
+        # Byzantine delta corruption (repro.robust): after local training,
+        # before compression — the compressor faithfully transmits the
+        # poisoned vector. Strictly gated: spec.adversary=None (default)
+        # skips even the membership draw.
+        if spec.adversary is not None and spec.adversary != "label_flip":
+            from repro.robust.attacks import apply_delta_attack, is_adversary
+
+            if is_adversary(spec.seed, task.cid, spec.adversary_fraction):
+                apply_delta_attack(
+                    res.delta, spec.adversary, scale=spec.adversary_scale
+                )
 
         wall_compress = t0 = time.perf_counter()
         if task.ratio is None:

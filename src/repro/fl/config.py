@@ -17,6 +17,8 @@ __all__ = [
     "EDGE_ASSIGNMENTS",
     "EDGE_SYNC_MODES",
     "CONTENTION_MODES",
+    "ADVERSARIES",
+    "AGGREGATORS",
 ]
 
 #: Algorithms of Table 2 (the baselines and the paper's two methods) plus
@@ -40,6 +42,15 @@ EDGE_SYNC_MODES = ("sync", "semisync")
 # CONTENTION_MODES ("none" | "fair") is defined by repro.network.transport —
 # the transport layer owns the contention vocabulary — and re-exported here
 # for config consumers.
+
+#: Byzantine client behaviors (repro.robust.attacks). sign_flip and scaled
+#: corrupt the trained delta; label_flip poisons the client's shard at
+#: hydration so virtual fleets stay O(active cohort).
+ADVERSARIES = ("sign_flip", "scaled", "label_flip")
+
+#: Server-side aggregation rules (repro.robust.aggregators). "mean" is the
+#: paper's weighted mean; the rest trade exactness for breakdown resistance.
+AGGREGATORS = ("mean", "median", "trimmed_mean", "norm_clip")
 
 
 @dataclass(frozen=True)
@@ -147,6 +158,19 @@ class ExperimentConfig:
     backhaul_bandwidth_mbps: float | None = None  # median edge↔cloud bandwidth (None = free)
     backhaul_latency_s: float = 0.0  # median edge↔cloud latency
     backhaul_heterogeneity: float = 0.0  # lognormal sigma of per-edge backhaul draws
+
+    # Adversarial robustness (repro.robust). adversary=None with zero fault
+    # probabilities and aggregator="mean" is the exact honest-path contract:
+    # no extra RNG draws, bit-identical histories with every prior PR.
+    adversary: str | None = None  # byzantine behavior, one of ADVERSARIES
+    adversary_fraction: float = 0.0  # expected fraction of adversarial clients
+    adversary_scale: float = 10.0  # λ for adversary="scaled" (delta ×= λ)
+    aggregator: str = "mean"  # server aggregation rule, one of AGGREGATORS
+    trim_beta: float = 0.1  # trimmed_mean: trim ⌊β·n⌋ per tail (β < 0.5)
+    clip_tau: float | None = None  # norm_clip: L2 radius (required by that aggregator)
+    drop_prob: float = 0.0  # per-upload probability the payload is lost in flight
+    truncate_prob: float = 0.0  # per-upload probability the payload arrives truncated
+    edge_crash_prob: float = 0.0  # hier: per-(round, edge) aggregator crash probability
 
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
@@ -265,6 +289,35 @@ class ExperimentConfig:
             check_positive("backhaul_bandwidth_mbps", self.backhaul_bandwidth_mbps)
         check_positive("backhaul_latency_s", self.backhaul_latency_s, strict=False)
         check_positive("backhaul_heterogeneity", self.backhaul_heterogeneity, strict=False)
+        if self.adversary is not None and self.adversary not in ADVERSARIES:
+            raise ValueError(
+                f"adversary must be one of {ADVERSARIES}, got {self.adversary!r}"
+            )
+        check_positive("adversary_scale", self.adversary_scale)
+        if self.aggregator not in AGGREGATORS:
+            raise ValueError(
+                f"aggregator must be one of {AGGREGATORS}, got {self.aggregator!r}"
+            )
+        if not 0 <= self.trim_beta < 0.5:
+            raise ValueError(f"trim_beta must be in [0, 0.5), got {self.trim_beta}")
+        if self.clip_tau is not None:
+            check_positive("clip_tau", self.clip_tau)
+        if self.aggregator == "norm_clip" and self.clip_tau is None:
+            raise ValueError("aggregator='norm_clip' needs clip_tau (the L2 clip radius)")
+        for name, prob in (
+            ("adversary_fraction", self.adversary_fraction),
+            ("drop_prob", self.drop_prob),
+            ("truncate_prob", self.truncate_prob),
+            ("edge_crash_prob", self.edge_crash_prob),
+        ):
+            # Probabilities, not fractions: 0 (the honest default) is legal.
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {prob}")
+        if self.drop_prob + self.truncate_prob > 1.0:
+            raise ValueError(
+                "drop_prob + truncate_prob must be <= 1, got "
+                f"{self.drop_prob} + {self.truncate_prob}"
+            )
 
     @property
     def clients_per_round(self) -> int:

@@ -113,6 +113,12 @@ class RoundRecord:
     # client/tier this round. None on histories from before the unified
     # transport layer existed.
     comm: RoundComm | None = None
+    # Uploads that actually reached the aggregator (repro.robust / fault
+    # injection): len(selected) minus drops and unusable truncations; 0 on a
+    # well-defined empty round (model unchanged). None on fault-free runs
+    # and on histories persisted before fault injection existed — there,
+    # every selected client participated.
+    num_participants: int | None = None
 
 
 @dataclass

@@ -21,7 +21,6 @@ import numpy as np
 from repro.compression.base import CompressedUpdate, SparseUpdate
 from repro.compression.registry import make_compressor
 from repro.compression.sparsifiers import k_from_ratio
-from repro.core.aggregation import weighted_sparse_sum
 from repro.core.arena import AggregationArena
 from repro.core.opwa import opwa_mask_from_updates
 from repro.core.server_opt import make_server_optimizer
@@ -36,12 +35,13 @@ from repro.fl.history import History, RoundComm, RoundRecord
 from repro.fl.sampler import UniformSampler
 from repro.network.cost import LinkSpec, model_bits
 from repro.network.links import TimeVaryingLink
-from repro.network.transport import Payload, Transport
+from repro.network.transport import FaultInjector, Payload, Transport
 from repro.obs import NULL_OBS, Obs
 from repro.obs.tracer import trace_clock
 from repro.nn.params import get_flat_params, num_parameters, set_flat_params
 from repro.population import ClientPool, CompressorPool, Population, default_cache_size
 from repro.population.table import LinkColumns
+from repro.robust.aggregators import robust_aggregate
 from repro.simtime.events import SpanLog
 from repro.simtime.profiles import pipeline_times
 from repro.utils.rng import RngFactory
@@ -141,6 +141,11 @@ class Simulation(EngineMixin):
             config.batch_size,
             flatten_inputs=flatten,
             cache_size=cache,
+            label_flip_fraction=(
+                config.adversary_fraction
+                if config.adversary == "label_flip"
+                else 0.0
+            ),
         )
         self.clients.observe(self.obs)
 
@@ -188,6 +193,9 @@ class Simulation(EngineMixin):
         # (volume_override_bits), where the trained model is smaller than
         # the priced one and the planned-ratio approximation must stand in.
         self.transport = Transport.from_config(config)
+        # Transport fault injection (None when both probabilities are zero —
+        # the honest path performs no per-upload fate draws at all).
+        self.faults = FaultInjector.from_config(config)
         self.dense_size = num_parameters(self.model)
         self._price_from_updates = (
             self.compressors is not None and config.volume_override_bits is None
@@ -267,8 +275,16 @@ class Simulation(EngineMixin):
                 sparse, cfg.gamma, required_overlap=cfg.required_overlap
             )
         arena = self.arena
-        pseudo_grad = weighted_sparse_sum(
-            updates, np.asarray(weights), mask=mask, arena=arena
+        # aggregator="mean" routes straight through weighted_sparse_sum with
+        # the identical arguments/buffers — bit-identical to every prior PR.
+        pseudo_grad = robust_aggregate(
+            updates,
+            np.asarray(weights),
+            aggregator=cfg.aggregator,
+            trim_beta=cfg.trim_beta,
+            clip_tau=cfg.clip_tau,
+            mask=mask,
+            arena=arena,
         )
         stepped = server_opt.step(
             params, pseudo_grad, out=params, scratch=arena.step_scratch
@@ -321,12 +337,20 @@ class Simulation(EngineMixin):
         return Payload.sparse(k_from_ratio(self.dense_size, float(ratio)))
 
     def _stage_dispatch(
-        self, cid: int, ratio: float | None, update: CompressedUpdate | None
+        self,
+        cid: int,
+        ratio: float | None,
+        update: CompressedUpdate | None,
+        *,
+        payload: Payload | None = None,
     ) -> tuple[Payload, float, float, float]:
         """(payload, download, train, exclusive-upload) of one dispatch —
-        the single pricing computation every protocol path shares."""
+        the single pricing computation every protocol path shares.
+        ``payload`` overrides the derived wire volume (fault injection
+        re-prices truncated uploads at their delivered bits)."""
         cfg = self.config
-        payload = self._payload_for(update, ratio)
+        if payload is None:
+            payload = self._payload_for(update, ratio)
         if self.obs.enabled:
             self.obs.metrics.counter("wire_bits", kind=payload.kind).inc(payload.bits)
         down, train_t, up = pipeline_times(
@@ -350,6 +374,7 @@ class Simulation(EngineMixin):
         tag: int,
         *,
         update: CompressedUpdate | None = None,
+        payload: Payload | None = None,
     ) -> tuple[float, float, float, Payload]:
         """(download, train, upload, payload) of one dispatch at ``t``.
 
@@ -357,7 +382,9 @@ class Simulation(EngineMixin):
         resolve the real finish later (the upload span is then logged at
         resolution, not here).
         """
-        payload, down, train_t, up = self._stage_dispatch(cid, ratio, update)
+        payload, down, train_t, up = self._stage_dispatch(
+            cid, ratio, update, payload=payload
+        )
         t0 = t + down
         self.spans.add(cid, "train", t0, t0 + train_t, tag=tag)
         if not self.transport.contended:
@@ -472,13 +499,54 @@ class Simulation(EngineMixin):
         train_seconds = sum(r.train_seconds for r in results)
         compress_seconds = sum(r.compress_seconds for r in results)
         updates: list[CompressedUpdate] = [r.update for r in results]
-        self.last_round_updates = updates
+
+        # Transport fault injection: decide each upload's fate — a pure
+        # function of (seed, round, cid), so fates are backend-invariant.
+        # ``delivered[pos] is None`` marks a lost upload; ``wire_updates``
+        # is what pricing charges (truncated payloads re-priced at their
+        # delivered bits; drops burn their full bits in flight).
+        delivered: list[CompressedUpdate | None] = list(updates)
+        wire_updates: list[CompressedUpdate] = updates
+        if self.faults is not None:
+            wire_updates = list(updates)
+            for pos, cid in enumerate(selected):
+                kind, frac = self.faults.fate(self.round_index, int(cid))
+                if kind == "deliver":
+                    continue
+                trunc = (
+                    FaultInjector.truncate(updates[pos], frac)
+                    if kind == "truncate"
+                    else None
+                )
+                delivered[pos] = trunc
+                if trunc is not None:
+                    wire_updates[pos] = trunc
+        surv = [pos for pos, u in enumerate(delivered) if u is not None]
+        agg_updates = [delivered[pos] for pos in surv]
+        self.last_round_updates = agg_updates
 
         # OPWA mask (line 17), aggregation (lines 14/16/18), and FedAvg of
-        # the persistent buffers (BN running stats).
+        # the persistent buffers (BN running stats) — over the *delivered*
+        # cohort, weights renormalized when uploads were lost. A round that
+        # loses every upload is well-defined: the model and BN state are
+        # unchanged and the record carries num_participants=0.
         with tracer.span("aggregate", cat="sim"):
-            singleton = self._aggregate_updates(updates, plan.weights, plan.use_opwa)
-            self._average_states(freqs, [r.state_arrays for r in results])
+            if len(surv) == len(selected):
+                singleton = self._aggregate_updates(
+                    agg_updates, plan.weights, plan.use_opwa
+                )
+                self._average_states(freqs, [r.state_arrays for r in results])
+            elif surv:
+                w = np.asarray([plan.weights[pos] for pos in surv], dtype=np.float64)
+                if w.sum() > 0:
+                    w = w / w.sum()
+                singleton = self._aggregate_updates(agg_updates, w, plan.use_opwa)
+                f = freqs[surv]
+                self._average_states(
+                    f / f.sum(), [results[pos].state_arrays for pos in surv]
+                )
+            else:
+                singleton = None
 
         if self._should_evaluate():
             with tracer.span("evaluate", cat="sim"):
@@ -502,10 +570,13 @@ class Simulation(EngineMixin):
         sim_start = self.sim_clock
         with tracer.span("transport.price", cat="net", dispatches=len(selected)):
             durations, up_bits, down_bits = self._price_round(
-                selected, plan.ratios, updates, sim_start, tag=self.round_index
+                selected, plan.ratios, wire_updates, sim_start, tag=self.round_index
             )
+        # The barrier waits on delivered contributors; an all-lost round
+        # still spans the slowest expected upload (the server's timeout).
+        barrier = surv if surv else range(len(selected))
         round_span = 0.0
-        for pos in range(len(selected)):
+        for pos in barrier:
             if plan.weights[pos] > 0:
                 round_span = max(round_span, durations[pos])
         self.sim_clock = sim_start + round_span
@@ -529,6 +600,7 @@ class Simulation(EngineMixin):
             sim_end=self.sim_clock,
             mean_staleness=0.0,
             comm=comm,
+            num_participants=(len(surv) if self.faults is not None else None),
         )
         self.history.append(record)
         self.round_index += 1

@@ -57,7 +57,18 @@ class HierSimulation(Simulation):
 
     def __init__(self, config: ExperimentConfig, obs=None, context=None):
         super().__init__(config, obs=obs, context=context)
+        if self.faults is not None:
+            # Client-uplink faults assume the flat server ingress; the
+            # hierarchical failure model is the edge aggregator itself.
+            raise ValueError(
+                "drop_prob/truncate_prob are not supported in hier mode — "
+                "edge failures are modeled by edge_crash_prob"
+            )
         rngs = RngFactory(config.seed)
+        # Edge-crash fates draw from a dedicated counter stream keyed by
+        # (cloud round, edge) — stateless, so zero probability means zero
+        # draws and the degenerate-equivalence contract is untouched.
+        self._crash_rngs = rngs
         self.topology: TierTopology = build_tier_topology(config, self.links, rngs)
         # One server optimizer per edge (identical hyperparameters); its
         # state (momentum/Adam moments) persists across cloud rounds.
@@ -215,6 +226,23 @@ class HierSimulation(Simulation):
             self.links = [tv.step() for tv in self._varying]
 
         sim_start = self.sim_clock
+        # Edge-aggregator crash events: each edge fails this cloud round
+        # with probability edge_crash_prob, decided by a counter-RNG draw
+        # keyed on (round, edge). A crashed edge runs no sub-rounds and
+        # sends no backhaul; the cloud reweights the survivors' models.
+        crashed = [False] * E
+        if cfg.edge_crash_prob > 0.0:
+            crashed = [
+                float(
+                    self._crash_rngs.counter(
+                        f"edge-crash-{self.round_index}", e
+                    ).random()
+                )
+                < cfg.edge_crash_prob
+                for e in range(E)
+            ]
+        alive = [e for e in range(E) if not crashed[e]]
+
         # Every edge starts from this round's global model.
         self._edge_params = [self.global_params.copy() for _ in range(E)]
         self._edge_states = [
@@ -228,7 +256,7 @@ class HierSimulation(Simulation):
         dense_model = Payload.dense(self.volume_bits)
         backhaul_down = [
             self.transport.broadcast_seconds(self.topology.backhaul_links[e], dense_model)
-            if cfg.include_downlink
+            if cfg.include_downlink and not crashed[e]
             else 0.0
             for e in range(E)
         ]
@@ -254,6 +282,8 @@ class HierSimulation(Simulation):
         # but the (sub-round, edge) iteration fixes the sampling sequence.
         for _k in range(cfg.edge_rounds):
             for e in range(E):
+                if crashed[e]:
+                    continue
                 with self.obs.tracer.span(
                     "hier.subround", cat="hier", edge=e, sub_round=_k
                 ):
@@ -287,7 +317,7 @@ class HierSimulation(Simulation):
         if self.transport.contended:
             billed = [
                 (e, self.topology.backhaul_links[e])
-                for e in range(E)
+                for e in alive
                 if self.topology.backhaul_links[e] is not None
             ]
             with self.obs.tracer.span("hier.backhaul", cat="hier", edges=len(billed)):
@@ -300,24 +330,38 @@ class HierSimulation(Simulation):
                 backhaul_up[e] = rec.seconds
         else:
             backhaul_up = [
-                self.topology.backhaul_uplink_time(e, self.volume_bits) for e in range(E)
+                self.topology.backhaul_uplink_time(e, self.volume_bits)
+                if not crashed[e]
+                else 0.0
+                for e in range(E)
             ]
         edge_totals = [elapsed[e] + backhaul_up[e] for e in range(E)]
 
         backhaul_map: dict[int, float] = {}
-        for e in range(E):
+        for e in alive:
             if self.topology.backhaul_links[e] is not None:
                 backhaul_map[e] = self.volume_bits * (2.0 if cfg.include_downlink else 1.0)
 
-        merged = [self.global_params]  # the edge tier's averaging kernel,
-        self._average_states_into(  # applied once at the cloud tier
-            merged, self.edge_freqs, [[p] for p in self._edge_params]
-        )
-        self.global_params = merged[0]
-        if self.global_states:
-            self._average_states_into(
-                self.global_states, self.edge_freqs, self._edge_states
+        # Cloud merge over the surviving edges, reweighted by their share of
+        # the data. The no-crash path keeps edge_freqs bit-for-bit (no
+        # renormalization); an all-crashed round leaves the model unchanged.
+        if len(alive) == E:
+            freqs_alive = self.edge_freqs
+        elif alive:
+            freqs_alive = self.edge_freqs[alive]
+            freqs_alive = freqs_alive / freqs_alive.sum()
+        if alive:
+            merged = [self.global_params]  # the edge tier's averaging kernel,
+            self._average_states_into(  # applied once at the cloud tier
+                merged, freqs_alive, [[self._edge_params[e]] for e in alive]
             )
+            self.global_params = merged[0]
+            if self.global_states:
+                self._average_states_into(
+                    self.global_states,
+                    freqs_alive,
+                    [self._edge_states[e] for e in alive],
+                )
 
         if self._should_evaluate():
             with self.obs.tracer.span("evaluate", cat="sim"):
@@ -326,12 +370,15 @@ class HierSimulation(Simulation):
             test_acc = None
 
         backhaul_s = [backhaul_up[e] + backhaul_down[e] for e in range(E)]
-        times = RoundTimes(
-            actual=max(a + b for a, b in zip(actual_sum, backhaul_s)),
-            maximum=max(m + b for m, b in zip(max_sum, backhaul_s)),
-            minimum=min(m + b for m, b in zip(min_sum, backhaul_s)),
-            downlink=max(d + b for d, b in zip(down_sum, backhaul_down)),
-        )
+        if alive:
+            times = RoundTimes(
+                actual=max(actual_sum[e] + backhaul_s[e] for e in alive),
+                maximum=max(max_sum[e] + backhaul_s[e] for e in alive),
+                minimum=min(min_sum[e] + backhaul_s[e] for e in alive),
+                downlink=max(down_sum[e] + backhaul_down[e] for e in alive),
+            )
+        else:
+            times = RoundTimes(0.0, 0.0, 0.0, 0.0)
         round_span = max(edge_totals)
         self.sim_clock = sim_start + round_span
 
@@ -349,7 +396,7 @@ class HierSimulation(Simulation):
         record = RoundRecord(
             round_index=self.round_index,
             selected=tuple(selected_all),
-            train_loss=float(np.mean(losses_all)),
+            train_loss=float(np.mean(losses_all)) if losses_all else 0.0,
             test_accuracy=test_acc,
             times=times,
             ratios=tuple(ratios_all),
@@ -363,6 +410,9 @@ class HierSimulation(Simulation):
             edge_breakdown=breakdown,
             comm=RoundComm.from_maps(
                 uplink=up_map, downlink=down_map, backhaul=backhaul_map
+            ),
+            num_participants=(
+                len(selected_all) if cfg.edge_crash_prob > 0.0 else None
             ),
         )
         self.history.append(record)

@@ -13,10 +13,20 @@ __all__ = ["history_to_dict", "history_from_dict", "save_history", "load_history
 
 
 def history_to_dict(history: History) -> dict:
-    """JSON-serializable representation of a run history."""
+    """JSON-serializable representation of a run history.
+
+    ``num_participants`` is emitted only when set (fault-injected runs):
+    fault-free histories keep the exact serialization every frozen golden
+    was recorded under.
+    """
     return {
         "records": [
             {
+                **(
+                    {}
+                    if r.num_participants is None
+                    else {"num_participants": int(r.num_participants)}
+                ),
                 "round_index": r.round_index,
                 "selected": list(r.selected),
                 "train_loss": r.train_loss,
@@ -108,6 +118,8 @@ def history_from_dict(data: dict) -> History:
                     downlink=tuple((int(c), float(b)) for c, b in rec["comm"]["downlink"]),
                     backhaul=tuple((int(c), float(b)) for c, b in rec["comm"]["backhaul"]),
                 ),
+                # Pre-fault-injection files (and fault-free runs) omit it.
+                num_participants=rec.get("num_participants"),
             )
         )
     return h

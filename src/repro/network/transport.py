@@ -36,6 +36,7 @@ from repro.network.cost import (
     downlink_time,
     uplink_time,
 )
+from repro.utils.rng import RngFactory
 from repro.utils.validation import check_fraction, check_positive
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "TransferRecord",
     "IngressPipe",
     "Transport",
+    "FaultInjector",
     "CONTENTION_MODES",
     "MBIT",
 ]
@@ -371,6 +373,100 @@ class IngressPipe:
 
     def __len__(self) -> int:
         return len(self._pending) + len(self._active) + len(self._out)
+
+
+class FaultInjector:
+    """Deterministic per-upload fault fates: deliver, drop, or truncate.
+
+    A fate is a pure function of ``(seed, epoch, cid)`` through a dedicated
+    counter-based RNG stream (:meth:`repro.utils.rng.RngFactory.counter`),
+    so seeded faulty runs stay bit-identical across execution backends and
+    sweep parallelism, and fates can be decided in any order — the sync
+    barrier prices a whole round at once while the event-driven protocols
+    decide per dispatch, and both read the identical draws.
+
+    ``epoch`` disambiguates repeated uploads by one client: synchronized
+    protocols pass the round index (hierarchical ones a flat sub-round
+    index), event-driven protocols a per-dispatch sequence number.
+
+    - **drop**: the payload burns its wire time (it contends, it is billed)
+      but never reaches the aggregator — the update contributes nothing.
+    - **truncate**: a prefix of the sparse payload survives; the delivered
+      update is re-priced at its delivered bits. Partial *dense* blocks are
+      discarded deterministically (a truncated dense vector has no usable
+      framing), i.e. they degrade to a drop.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        drop_prob: float = 0.0,
+        truncate_prob: float = 0.0,
+        *,
+        stream: str = "fault",
+    ):
+        for name, prob in (("drop_prob", drop_prob), ("truncate_prob", truncate_prob)):
+            # Probabilities, not fractions: 0 (and 1, for always-on) are legal.
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {prob}")
+        if drop_prob + truncate_prob > 1.0:
+            raise ValueError(
+                f"drop_prob + truncate_prob must be <= 1, got "
+                f"{drop_prob} + {truncate_prob}"
+            )
+        self.drop_prob = float(drop_prob)
+        self.truncate_prob = float(truncate_prob)
+        self._rngs = RngFactory(seed)
+        self._stream = stream
+
+    @classmethod
+    def from_config(cls, config) -> "FaultInjector | None":
+        """The injector a config describes — ``None`` when fault-free.
+
+        Returning ``None`` (not an inert injector) keeps the honest path
+        free of any per-upload RNG work: existing seeded histories replay
+        byte-for-byte when both probabilities are zero.
+        """
+        if config.drop_prob == 0.0 and config.truncate_prob == 0.0:
+            return None
+        return cls(config.seed, config.drop_prob, config.truncate_prob)
+
+    def fate(self, epoch: int, cid: int) -> tuple[str, float]:
+        """The fate of client ``cid``'s upload in ``epoch``.
+
+        Returns ``("deliver", 1.0)``, ``("drop", 0.0)``, or
+        ``("truncate", frac)`` with ``frac`` the surviving payload fraction.
+        """
+        rng = self._rngs.counter(f"{self._stream}-{int(epoch)}", int(cid))
+        u = float(rng.random())
+        if u < self.drop_prob:
+            return ("drop", 0.0)
+        if u < self.drop_prob + self.truncate_prob:
+            return ("truncate", float(rng.random()))
+        return ("deliver", 1.0)
+
+    @staticmethod
+    def truncate(update: CompressedUpdate, frac: float) -> SparseUpdate | None:
+        """The delivered prefix of a truncated upload, or ``None`` if unusable.
+
+        Sparse payloads stream (index, value) pairs, so the first
+        ``⌊frac·nnz⌋`` entries form a valid smaller update (prefix of a
+        strictly increasing index vector). Dense/quantized payloads have no
+        partial-block semantics and degrade to a drop. Buffers are copied:
+        the source may be an arena bank view whose storage is recycled.
+        """
+        if not isinstance(update, SparseUpdate):
+            return None
+        k = int(frac * update.nnz)
+        if k < 1:
+            return None
+        return SparseUpdate(
+            dense_size=update.dense_size,
+            indices=update.indices[:k].copy(),
+            values=update.values[:k].copy(),
+            index_bits=update.index_bits,
+            value_bits=update.value_bits,
+        )
 
 
 class Transport:

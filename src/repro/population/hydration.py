@@ -84,14 +84,27 @@ class ClientPool:
         *,
         flatten_inputs: bool,
         cache_size: int,
+        label_flip_fraction: float = 0.0,
     ):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if not 0.0 <= label_flip_fraction <= 1.0:
+            raise ValueError(
+                f"label_flip_fraction must be in [0, 1], got {label_flip_fraction}"
+            )
         self._population = population
         self._train_set = train_set
         self._batch_size = int(batch_size)
         self._flatten = bool(flatten_inputs)
         self._cache_size = int(cache_size)
+        #: Label-flip poisoning (repro.robust): adversarial clients — a pure
+        #: function of (population.seed, cid) — train on shards whose labels
+        #: are flipped *at hydration*, so poisoning costs O(cohort) and the
+        #: world-cached corpus arrays stay untouched (``subset`` copies).
+        self._flip_fraction = float(label_flip_fraction)
+        self._num_classes = (
+            int(train_set.y.max()) + 1 if self._flip_fraction > 0.0 else 0
+        )
         self._rngs = RngFactory(population.seed)
         self._counter_streams = population.partition is None
         self._cache: OrderedDict[int, object] = OrderedDict()
@@ -144,6 +157,11 @@ class ClientPool:
                 hydrate_cm = obs.tracer.span("hydrate", cat="pop", cid=cid)
                 hydrate_cm.__enter__()
             shard = self._train_set.subset(self._population.shard_indices(cid))
+            if self._flip_fraction > 0.0:
+                from repro.robust.attacks import flip_labels, is_adversary
+
+                if is_adversary(self._population.seed, cid, self._flip_fraction):
+                    flip_labels(shard.y, self._num_classes)
             client = _client_cls()(
                 cid,
                 shard,

@@ -15,6 +15,7 @@ from repro.report.sections import (
     history_section,
     manifest_section,
     metrics_section,
+    robustness_section,
     sweep_section,
     trace_section,
 )
@@ -109,6 +110,9 @@ def render_report(
         body.append(history_section(history))
     if sweep is not None:
         body.append(sweep_section(sweep, target=target_acc))
+        robust = robustness_section(sweep)  # "" without a robustness axis
+        if robust:
+            body.append(robust)
     if trace is not None:
         body.append(trace_section(trace))
     if metrics is not None:

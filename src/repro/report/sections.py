@@ -32,9 +32,19 @@ __all__ = [
     "manifest_section",
     "history_section",
     "sweep_section",
+    "robustness_section",
     "trace_section",
     "metrics_section",
 ]
+
+#: Sweep axes read as attack/fault intensities: each gets a degradation
+#: curve in :func:`robustness_section` when it appears in the grid.
+ROBUSTNESS_AXES = (
+    "adversary_fraction",
+    "drop_prob",
+    "truncate_prob",
+    "edge_crash_prob",
+)
 
 
 # ------------------------------------------------------------- html helpers
@@ -315,6 +325,49 @@ def sweep_section(
                     x_label=x_axis, y_label=y_axis, fmt=lambda v: f"{v:.4f}",
                 ),
             ))
+    return _section(anchor, heading, *parts)
+
+
+def robustness_section(
+    report, *, heading: str = "Robustness", anchor: str = "robustness"
+) -> str:
+    """Accuracy-degradation curves over the sweep's robustness axes.
+
+    One chart per :data:`ROBUSTNESS_AXES` member present in the grid
+    (byzantine fraction, drop/truncate probability, edge crash
+    probability): mean final/best accuracy at each intensity, marginalized
+    over every other axis and seed — e.g. a
+    ``--grid adversary_fraction=0,0.1,0.3 aggregator=mean,trimmed_mean``
+    sweep reads off as how fast each aggregation rule degrades under
+    attack. Returns ``""`` when the sweep carries no robustness axis, so
+    the page assembler can call it unconditionally.
+    """
+    parts: list[str] = []
+    for axis in ROBUSTNESS_AXES:
+        curve = report.robustness_curve(axis)
+        if not curve:
+            continue
+        xs = [x for x, _ in curve]
+        finals = [stats["mean_final"] for _, stats in curve]
+        bests = [stats["mean_best"] for _, stats in curve]
+        parts.append(figure(
+            f"Accuracy vs {axis}",
+            svg_plot(
+                {"mean final": (xs, finals), "mean best": (xs, bests)},
+                x_label=axis, y_label="accuracy",
+            ),
+            legend=["mean final", "mean best"],
+        ))
+        parts.append(html_table(
+            [axis, "mean_final", "mean_best", "cells"],
+            [
+                [f"{x:g}", _num(stats["mean_final"]), _num(stats["mean_best"]),
+                 str(int(stats["n"]))]
+                for x, stats in curve
+            ],
+        ))
+    if not parts:
+        return ""
     return _section(anchor, heading, *parts)
 
 

@@ -118,6 +118,28 @@ class SweepReport:
             }
         return out
 
+    def robustness_curve(
+        self, axis: str = "adversary_fraction"
+    ) -> list[tuple[float, dict[str, float]]]:
+        """Accuracy versus attack/fault intensity: the robustness axis.
+
+        Rows are ``(axis value, {mean_final, mean_best, n})`` sorted by
+        ascending intensity — marginalized over every other axis and seed,
+        so a ``--grid adversary_fraction=0,0.1,0.3`` sweep reads off as one
+        degradation curve per aggregator. Empty when no cell carries the
+        axis.
+        """
+        buckets = self.marginals().get(axis, {})
+        rows = []
+        for value, stats in buckets.items():
+            try:
+                x = float(value)
+            except (TypeError, ValueError):
+                continue
+            rows.append((x, stats))
+        rows.sort(key=lambda r: r[0])
+        return rows
+
     # ------------------------------------------------------------ frontiers
 
     def time_to_accuracy_frontier(

@@ -39,8 +39,9 @@ from repro.exec import ClientTask, TaskResult
 from repro.fl.config import ExperimentConfig
 from repro.fl.history import RoundComm, RoundRecord
 from repro.fl.simulation import Simulation
+from repro.compression.sparsifiers import k_from_ratio
 from repro.network.metrics import RoundTimes
-from repro.network.transport import Payload
+from repro.network.transport import FaultInjector, Payload
 from repro.utils.rng import RngFactory
 
 __all__ = ["AsyncSimulation", "SemiSyncSimulation"]
@@ -72,6 +73,11 @@ class _Pending:
     payload: Payload | None = None  # what the upload puts on the wire
     fid: int = -1  # transport flow id of the upload
     up_start: float = 0.0  # when the upload entered the ingress
+    #: Fault-injection fate, decided at dispatch (pure function of
+    #: (seed, dispatch seq, cid)): "deliver" | "drop" | "truncate".
+    fate: str = "deliver"
+    frac: float = 1.0  # truncate: surviving payload fraction
+    delivered: CompressedUpdate | None = None  # truncated update, once known
 
 
 class _EventDrivenSimulation(Simulation):
@@ -95,6 +101,12 @@ class _EventDrivenSimulation(Simulation):
         self.now = 0.0
         self.version = 0  # bumps once per aggregation
         self._untrained: list[_Pending] = []  # dispatched, training deferred
+        #: Per-dispatch fault-fate sequence: dispatch order is deterministic,
+        #: so (seq, cid) indexes a unique counter-RNG draw per upload.
+        self._fault_seq = 0
+        #: Drop-fated arrivals since the last record: their bits were spent
+        #: on the wire (the ledger must charge them) but nothing aggregates.
+        self._window_lost: list[_Pending] = []
 
     # ------------------------------------------------------------- dispatch
 
@@ -113,10 +125,39 @@ class _EventDrivenSimulation(Simulation):
         (one backend batch per aggregation window instead of one per dispatch);
         the upload is then priced from the predicted Top-K wire size, which
         for deterministic-``k`` sparsifiers equals the emitted bits.
+
+        Fault injection decides the upload's fate here, at dispatch: a
+        truncated upload is re-priced at its delivered bits (so its arrival
+        shifts earlier), a dropped one burns its full wire price in flight.
         """
         update = None if result is None else result.update
+        fate, frac = "deliver", 1.0
+        delivered: CompressedUpdate | None = None
+        payload_override: Payload | None = None
+        if self.faults is not None:
+            fate, frac = self.faults.fate(self._fault_seq, int(cid))
+            self._fault_seq += 1
+            if fate == "truncate":
+                if update is not None:
+                    delivered = FaultInjector.truncate(update, frac)
+                    if delivered is None:
+                        fate = "drop"  # nothing decodable survives
+                    else:
+                        payload_override = self._payload_for(delivered, ratio)
+                elif self._price_from_updates and ratio is not None:
+                    # Deferred training: predict the truncated wire size from
+                    # the deterministic Top-K count the compressor will emit.
+                    k = int(frac * k_from_ratio(self.dense_size, float(ratio)))
+                    if k < 1:
+                        fate = "drop"
+                    else:
+                        payload_override = Payload.sparse(k)
+                else:
+                    # Dense / planned-volume uploads have no partial decoding:
+                    # a truncated block is discarded whole.
+                    fate = "drop"
         down, train_t, up, payload = self._price_dispatch(
-            cid, ratio, t, tag=self.version, update=update
+            cid, ratio, t, tag=self.version, update=update, payload=payload_override
         )
         duration = down + train_t + up
         up_start = (t + down) + train_t
@@ -132,6 +173,9 @@ class _EventDrivenSimulation(Simulation):
             result=result,
             payload=payload,
             up_start=up_start,
+            fate=fate,
+            frac=frac,
+            delivered=delivered,
         )
         if result is None:
             self._untrained.append(pend)
@@ -158,12 +202,33 @@ class _EventDrivenSimulation(Simulation):
             self.spans.add(pend.cid, "upload", pend.up_start, t_fin, tag=pend.version)
         return pend
 
+    def _delivered_update(self, pend: _Pending) -> CompressedUpdate | None:
+        """The update the server actually receives (None = lost in flight).
+
+        Deferred-training truncations resolve lazily here, after
+        :meth:`_flush_training` has produced the full update.
+        """
+        if pend.fate == "drop":
+            return None
+        if pend.fate != "truncate":
+            return pend.result.update
+        if pend.delivered is None:
+            pend.delivered = FaultInjector.truncate(pend.result.update, pend.frac)
+            if pend.delivered is None:
+                pend.fate = "drop"
+                return None
+        return pend.delivered
+
     def _window_comm(self, contributions: list[_Pending]) -> RoundComm:
-        """Flow ledger of one aggregation window: contributed uplink bits
+        """Flow ledger of one aggregation window: contributed uplink bits,
+        bits spent by drop-fated uploads (transmitted, never aggregated),
         plus (when downlink accounting is on) this window's broadcasts."""
         up_map: dict[int, float] = {}
         for p in contributions:
             up_map[p.cid] = up_map.get(p.cid, 0.0) + p.payload.bits
+        for p in self._window_lost:
+            up_map[p.cid] = up_map.get(p.cid, 0.0) + p.payload.bits
+        self._window_lost = []
         down_map: dict[int, float] = {}
         if self.config.include_downlink:
             for cid in self._window_down:
@@ -238,8 +303,11 @@ class _EventDrivenSimulation(Simulation):
         """
         ranged = dispatched or contributions
         comm = [p.downlink + p.upload for p in ranged]
+        # An all-lost window still spans the slowest completed transfer —
+        # the dropped bits were transmitted even though nothing aggregated.
+        actual_pool = contributions or ranged
         return RoundTimes(
-            actual=max(p.downlink + p.upload for p in contributions),
+            actual=max(p.downlink + p.upload for p in actual_pool),
             maximum=max(comm),
             minimum=min(comm),
             downlink=max(p.downlink for p in ranged),
@@ -252,7 +320,7 @@ class _EventDrivenSimulation(Simulation):
         Mirrors the synchronous round's aggregation (Alg. 1 lines 14–18)
         including persistent-buffer (BN) averaging.
         """
-        updates = [p.result.update for p in contributions]
+        updates = [self._delivered_update(p) for p in contributions]
         self.last_round_updates = updates
         with self.obs.tracer.span("aggregate", cat="sim", contributions=len(contributions)):
             singleton = self._aggregate_updates(
@@ -288,7 +356,11 @@ class _EventDrivenSimulation(Simulation):
         record = RoundRecord(
             round_index=self.round_index,
             selected=selected,
-            train_loss=float(np.mean([p.result.mean_loss for p in contributions])),
+            train_loss=(
+                float(np.mean([p.result.mean_loss for p in contributions]))
+                if contributions
+                else 0.0
+            ),
             test_accuracy=test_acc,
             times=times,
             ratios=tuple(
@@ -302,6 +374,9 @@ class _EventDrivenSimulation(Simulation):
             sim_end=sim_end,
             mean_staleness=float(np.mean(lags)) if lags else 0.0,
             comm=comm,
+            num_participants=(
+                len(contributions) if self.faults is not None else None
+            ),
         )
         self.history.append(record)
         self.round_index += 1
@@ -404,6 +479,11 @@ class AsyncSimulation(_EventDrivenSimulation):
             self.now = t_fin
             pend = self._resolve_arrival(t_fin, fid)
             self._in_flight.discard(pend.cid)
+            # A drop-fated upload still fills its buffer slot: the window is
+            # K upload *completions*, and faults only remove contributions
+            # (mirroring sync, where the cohort is fixed by selection). An
+            # all-dropped window then records an empty round instead of
+            # waiting forever for a deliverable arrival.
             self._buffer.append(pend)
             # Refill the slot: uniform over idle clients (the arrived client
             # is idle again, so the pool is never empty).
@@ -411,10 +491,19 @@ class AsyncSimulation(_EventDrivenSimulation):
             self._launch(idle[int(self._rng.integers(len(idle)))], self.now)
 
         self._flush_training()  # everything dispatched this window, batched
-        contributions, self._buffer = self._buffer, []
-        weights = self._staleness_weights(contributions)
-        singleton, updates = self._apply_aggregate(contributions, weights)
-        times = self._comm_times(contributions, contributions)
+        window, self._buffer = self._buffer, []
+        # Deferred truncations resolve now that the updates exist; one that
+        # yields nothing decodable degrades to a drop (dense updates, k < 1).
+        contributions = [p for p in window if self._delivered_update(p) is not None]
+        self._window_lost.extend(p for p in window if p.fate == "drop")
+        if contributions:
+            weights = self._staleness_weights(contributions)
+            singleton, updates = self._apply_aggregate(contributions, weights)
+        else:
+            weights = np.empty(0, dtype=np.float64)
+            singleton, updates = None, []
+        pool = contributions or window
+        times = self._comm_times(pool, pool)
         record = self._record(
             contributions=contributions,
             weights=weights,
@@ -423,7 +512,7 @@ class AsyncSimulation(_EventDrivenSimulation):
             times=times,
             sim_start=self._last_agg,
             sim_end=self.now,
-            selected=tuple(p.cid for p in contributions),
+            selected=tuple(p.cid for p in window),
         )
         self._last_agg = self.now
         return record
@@ -514,12 +603,16 @@ class SemiSyncSimulation(_EventDrivenSimulation):
             t_end = self._pipe.peek_next()[0]
             arrivals = self._pipe.pop_until(t_end + _EPS)
 
-        contributions: list[_Pending] = []
+        arrived: list[_Pending] = []
         for t_fin, fid in arrivals:
             pend = self._resolve_arrival(t_fin, fid)
             self._busy.discard(pend.cid)
-            contributions.append(pend)
-        own_arrived = {p.cid for p in contributions if p.version == self.version}
+            arrived.append(pend)
+        # Drop-fated completions finished transmitting (the device is idle
+        # again, its bits hit the ledger) but contribute nothing.
+        contributions = [p for p in arrived if self._delivered_update(p) is not None]
+        self._window_lost.extend(p for p in arrived if p.fate == "drop")
+        own_arrived = {p.cid for p in arrived if p.version == self.version}
 
         # Late updates: carry over (device keeps uploading; its flow stays
         # in the ingress and the client stays busy) or drop (abandoned at
@@ -542,27 +635,33 @@ class SemiSyncSimulation(_EventDrivenSimulation):
         # redistribute that mass. Mixing raw plan weights (normalized over
         # all *dispatched* clients) with stale_w directly would let a lone
         # carryover outweigh every on-time update.
-        stale_w = self._staleness_weights(contributions)
-        fresh = [j for j, p in enumerate(contributions) if p.version == self.version]
-        w = stale_w.copy()
-        if fresh:
-            pw = np.array(
-                [plan_weights[contributions[j].cid] for j in fresh], dtype=np.float64
-            )
-            # The plan's zeros are exclusions (deadline_topk drops
-            # stragglers) and must stay zero here too — including a
-            # plan-dropped update at frequency weight would make sync and
-            # semisync disagree on aggregation *membership*, not just
-            # timing. All-zero fresh arrivals cede the round to carryovers.
-            w[fresh] = (
-                stale_w[fresh].sum() * pw / pw.sum() if pw.sum() > 0 else 0.0
-            )
-        if w.sum() == 0:  # every contributor excluded and no carryovers
-            w = stale_w  # degenerate fallback, mirroring the plan's own
-        weights = w / w.sum()
-        singleton, updates = self._apply_aggregate(contributions, weights)
+        if contributions:
+            stale_w = self._staleness_weights(contributions)
+            fresh = [j for j, p in enumerate(contributions) if p.version == self.version]
+            w = stale_w.copy()
+            if fresh:
+                pw = np.array(
+                    [plan_weights[contributions[j].cid] for j in fresh], dtype=np.float64
+                )
+                # The plan's zeros are exclusions (deadline_topk drops
+                # stragglers) and must stay zero here too — including a
+                # plan-dropped update at frequency weight would make sync and
+                # semisync disagree on aggregation *membership*, not just
+                # timing. All-zero fresh arrivals cede the round to carryovers.
+                w[fresh] = (
+                    stale_w[fresh].sum() * pw / pw.sum() if pw.sum() > 0 else 0.0
+                )
+            if w.sum() == 0:  # every contributor excluded and no carryovers
+                w = stale_w  # degenerate fallback, mirroring the plan's own
+            weights = w / w.sum()
+            singleton, updates = self._apply_aggregate(contributions, weights)
+        else:
+            # Every completed upload this window was lost in flight: a
+            # well-defined empty round — model and version unchanged.
+            weights = np.empty(0, dtype=np.float64)
+            singleton, updates = None, []
 
-        times = self._comm_times(contributions, own)
+        times = self._comm_times(contributions or arrived, own)
         self.now = t_end
         return self._record(
             contributions=contributions,

@@ -1,0 +1,24 @@
+"""Test-support machinery shipped with the library.
+
+:mod:`repro.testing.goldens` is the golden-history harness: it runs a
+config, captures its deterministic trace, and compares it bit-for-bit
+against a frozen JSON artifact — the mechanism behind both the population
+equivalence suite (``tests/population``) and the robustness goldens
+(``tests/goldens``), plus the ``scripts/regen_goldens.py`` regenerator.
+"""
+
+from repro.testing.goldens import (
+    check_golden,
+    load_golden,
+    regen_requested,
+    run_trace,
+    write_golden,
+)
+
+__all__ = [
+    "check_golden",
+    "load_golden",
+    "regen_requested",
+    "run_trace",
+    "write_golden",
+]

@@ -3,22 +3,25 @@
 ``goldens/*.json`` are frozen pre-refactor traces (see ``make_goldens.py``):
 full histories plus span logs from the eager ``list[Client]`` construction,
 captured before the struct-of-arrays population landed. Every test here
-replays a golden config through the population path and requires *bitwise*
-equality — across all four protocol modes (sync, semisync, async, hier) and
-all three execution backends, and under an LRU so small that clients are
-evicted and rehydrated mid-run.
+replays a golden config through the population path via the shared
+:mod:`repro.testing.goldens` harness and requires *bitwise* equality —
+across all four protocol modes (sync, semisync, async, hier) and all three
+execution backends, and under an LRU so small that clients are evicted and
+rehydrated mid-run.
+
+These goldens are frozen artifacts, not build products: ``check_golden`` is
+called with ``regen=False`` so ``REGEN_GOLDEN=1`` (which rebuilds the
+robustness goldens in ``tests/goldens``) can never overwrite them.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest
 
 from golden_configs import GOLDEN_CONFIGS, golden_name
-from repro.io.history_io import history_to_dict
-from repro.simtime import make_simulation
+from repro.testing.goldens import check_golden, run_trace
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
 
@@ -32,30 +35,8 @@ MODE_REPRESENTATIVES = (
 )
 
 
-def load_golden(name: str) -> dict:
-    return json.loads((GOLDEN_DIR / golden_name(name)).read_text())
-
-
-def run_trace(config) -> dict:
-    """Run ``config`` and capture its deterministic trace (golden format)."""
-    with make_simulation(config) as sim:
-        history = sim.run()
-        spans = [[s.cid, s.kind, s.start, s.end, s.tag] for s in sim.spans]
-    payload = history_to_dict(history)
-    for rec in payload["records"]:
-        # Wall-clock fields are nondeterministic; the goldens store zeros.
-        rec["train_seconds"] = 0.0
-        rec["compress_seconds"] = 0.0
-    return {"history": payload, "spans": spans}
-
-
 def assert_matches(name: str, trace: dict) -> None:
-    golden = load_golden(name)
-    # Record-level compare first for a readable diff, then the whole trace.
-    assert trace["history"]["records"] == golden["history"]["records"], (
-        f"population path diverged from golden {name!r}"
-    )
-    assert trace == golden, f"population path diverged from golden {name!r}"
+    check_golden(GOLDEN_DIR / golden_name(name), trace, name=name, regen=False)
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))

@@ -1,0 +1,96 @@
+"""All-lost rounds: the model must hold still and the history must say so.
+
+When fault injection eats every upload of a round (or every edge
+aggregator crashes), the server has nothing to apply: the round is still
+recorded — with ``num_participants=0``, an unchanged model, and a frozen
+evaluation — instead of crashing, skipping the record, or (the async
+regression this file pins) waiting forever for a deliverable arrival.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fl.config import ExperimentConfig
+from repro.io.history_io import history_to_dict
+from repro.simtime import make_simulation
+
+
+def cfg(**overrides) -> ExperimentConfig:
+    base = dict(
+        dataset="synth-cifar10",
+        model="mlp",
+        num_train=240,
+        num_test=120,
+        num_clients=8,
+        participation=0.5,
+        rounds=3,
+        batch_size=32,
+        lr=0.1,
+        seed=7,
+        eval_every=1,
+        algorithm="topk",
+        compression_ratio=0.2,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def run(config) -> list:
+    with make_simulation(config) as sim:
+        return sim.run().records
+
+
+ALL_LOST = {
+    "sync": dict(drop_prob=1.0),
+    "semisync": dict(
+        mode="semisync", deadline_quantile=0.6, drop_prob=1.0
+    ),
+    "async": dict(mode="async", concurrency=3, buffer_size=2, drop_prob=1.0),
+    "hier": dict(
+        algorithm="bcrs_opwa",
+        compression_ratio=0.2,
+        mode="hier",
+        num_edges=2,
+        edge_rounds=1,
+        edge_crash_prob=1.0,
+    ),
+}
+
+
+@pytest.mark.parametrize("mode", sorted(ALL_LOST))
+def test_total_loss_freezes_the_model(mode):
+    """Every round records zero participants and an unchanged model."""
+    records = run(cfg(**ALL_LOST[mode]))
+    assert len(records) == cfg(**ALL_LOST[mode]).rounds
+    assert [r.num_participants for r in records] == [0] * len(records)
+    accs = [r.test_accuracy for r in records if r.test_accuracy is not None]
+    assert accs and len(set(accs)) == 1  # evaluation never moves
+
+
+def test_truncation_is_not_loss():
+    """A truncated upload still participates: the prefix is delivered,
+    re-priced at its delivered bits, and aggregated."""
+    records = run(cfg(drop_prob=0.0, truncate_prob=1.0))
+    assert any(r.num_participants > 0 for r in records)
+    accs = [r.test_accuracy for r in records if r.test_accuracy is not None]
+    assert len(set(accs)) > 1  # learning still happens on the prefixes
+
+
+def test_partial_loss_counts_survivors():
+    records = run(cfg(drop_prob=0.5, seed=3))
+    counts = [r.num_participants for r in records]
+    assert all(c is not None for c in counts)
+    cohort = int(round(0.5 * 8))
+    assert all(0 <= c <= cohort for c in counts)
+
+
+def test_fault_free_histories_stay_byte_identical():
+    """Without fault injection ``num_participants`` is absent — recorded as
+    None and omitted from the serialized history, so pre-robustness golden
+    JSON reproduces byte-for-byte."""
+    records = run(cfg())
+    assert all(r.num_participants is None for r in records)
+    with make_simulation(cfg()) as sim:
+        d = history_to_dict(sim.run())
+    assert all("num_participants" not in rec for rec in d["records"])
